@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it
+times the underlying computation with pytest-benchmark, asserts the
+shape agreements recorded in EXPERIMENTS.md, and prints the regenerated
+artifact (visible with ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+import pytest
+
+from repro import casestudy
+from repro.workload.presets import cello
+
+
+@pytest.fixture(scope="session")
+def workload():
+    return cello()
+
+
+@pytest.fixture(scope="session")
+def requirements():
+    return casestudy.case_study_requirements()
+
+
+@pytest.fixture(scope="session")
+def scenarios():
+    return casestudy.case_study_scenarios()

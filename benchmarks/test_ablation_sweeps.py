@@ -1,0 +1,146 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Three sweeps over the design knobs the case study varies implicitly:
+
+* the batched-async mirror's accumulation window (loss vs link demand);
+* WAN link provisioning (recovery time vs outlays — the generalized
+  1-vs-10-link contrast of Table 7);
+* spare type for the primary array (dedicated vs shared-facility:
+  recovery time vs outlays).
+"""
+
+import pytest
+
+from repro import casestudy, evaluate
+from repro.design import (
+    pareto_frontier,
+    run_whatif,
+    sweep_accumulation_window,
+    sweep_link_count,
+)
+from repro.devices.spares import SpareConfig
+from repro.reporting import Table
+from repro.units import HOUR, MINUTE, format_duration, format_money
+
+
+def _run_sweeps(workload, requirements):
+    scenario = casestudy.array_failure_scenario()
+    window_points = sweep_accumulation_window(
+        ["1 min", "5 min", "30 min", "2 hr"], workload, scenario, requirements
+    )
+    link_points = sweep_link_count([1, 2, 5, 10], workload, scenario, requirements)
+
+    spare_points = []
+    for label, spare in (
+        ("dedicated 60 s", SpareConfig.dedicated("60 s", 1.0)),
+        ("shared 9 h", SpareConfig.shared("9 hr", 0.2)),
+    ):
+        design = casestudy._tape_design(
+            f"baseline [{label} spare]",
+            casestudy._baseline_split_mirror(),
+            casestudy._baseline_backup(),
+            casestudy._baseline_vaulting(),
+        )
+        design.levels[0].store.spare = spare
+        assessment = evaluate(design, workload, scenario, requirements)
+        spare_points.append((label, assessment))
+
+    whatif = run_whatif(
+        {
+            name: (lambda d=factory: d())
+            for name, factory in {
+                "baseline": casestudy.baseline_design,
+                "weekly vault, daily F": casestudy.weekly_vault_daily_fulls_design,
+                "weekly vault, daily F, snapshot":
+                    casestudy.weekly_vault_daily_fulls_snapshot_design,
+                "asyncB mirror, 1 link":
+                    (lambda: casestudy.async_batch_mirror_design(1)),
+                "asyncB mirror, 10 links":
+                    (lambda: casestudy.async_batch_mirror_design(10)),
+            }.items()
+        },
+        workload,
+        [casestudy.array_failure_scenario(), casestudy.site_failure_scenario()],
+        requirements,
+    )
+    return window_points, link_points, spare_points, whatif
+
+
+def test_ablation_sweeps(benchmark, workload, requirements):
+    window_points, link_points, spare_points, whatif = benchmark(
+        _run_sweeps, workload, requirements
+    )
+
+    table = Table(
+        headers=["batch window", "data loss", "utilization", "total cost"],
+        title="Ablation: asyncB accumulation window (array failure)",
+    )
+    for p in window_points:
+        table.add_row(
+            format_duration(p.parameter),
+            format_duration(p.recent_data_loss),
+            f"{p.system_utilization:.1%}",
+            format_money(p.total_cost),
+        )
+    print()
+    print(table.render())
+
+    table = Table(
+        headers=["links", "recovery time", "total cost"],
+        title="Ablation: WAN link provisioning (array failure)",
+    )
+    for p in link_points:
+        table.add_row(
+            int(p.parameter),
+            format_duration(p.recovery_time),
+            format_money(p.total_cost),
+        )
+    print(table.render())
+
+    table = Table(
+        headers=["primary array spare", "recovery time", "outlays"],
+        title="Ablation: spare type for the primary array (array failure)",
+    )
+    for label, assessment in spare_points:
+        table.add_row(
+            label,
+            format_duration(assessment.recovery_time),
+            format_money(assessment.costs.total_outlays),
+        )
+    print(table.render())
+
+    # Window sweep: loss grows with the window; two windows' worth.
+    losses = [p.recent_data_loss for p in window_points]
+    assert losses == sorted(losses)
+    assert losses[0] == pytest.approx(2 * MINUTE)
+    assert losses[-1] == pytest.approx(4 * HOUR)
+
+    # Link sweep: recovery time strictly improves, outlays strictly grow.
+    times = [p.recovery_time for p in link_points]
+    assert times == sorted(times, reverse=True)
+
+    # Spare ablation: the shared spare is slower to recover but cheaper.
+    dedicated, shared = spare_points[0][1], spare_points[1][1]
+    assert shared.recovery_time > dedicated.recovery_time
+    assert shared.costs.total_outlays < dedicated.costs.total_outlays
+
+    # Pareto frontier over (worst RT, worst DL, outlays): the dominated
+    # split-mirror variant drops; its cheaper snapshot twin survives.
+    frontier = pareto_frontier(whatif)
+    table = Table(
+        headers=["design", "on frontier", "worst RT", "worst DL", "outlays"],
+        title="Trade-space: Pareto frontier over Table 7 designs",
+    )
+    frontier_names = {r.design_name for r in frontier}
+    for result in whatif:
+        table.add_row(
+            result.design_name,
+            "yes" if result.design_name in frontier_names else "",
+            format_duration(result.worst_recovery_time),
+            format_duration(result.worst_data_loss),
+            format_money(result.total_outlays),
+        )
+    print(table.render())
+    assert "weekly vault, daily F, snapshot" in frontier_names
+    assert "weekly vault, daily F" not in frontier_names
+    assert "asyncB mirror, 1 link" in frontier_names

@@ -1,0 +1,34 @@
+"""Figure 1 — the example storage system design.
+
+Regenerates the paper's hierarchy diagram (primary copy -> split
+mirrors -> tape backup -> remote vault) as ASCII art and checks its
+structure: level ordering, device bindings and transports.
+"""
+
+from repro import casestudy
+
+
+def _render():
+    design = casestudy.baseline_design()
+    return design, design.render_hierarchy()
+
+
+def test_figure1_design_hierarchy(benchmark):
+    design, art = benchmark(_render)
+    print()
+    print(art)
+
+    lines = art.splitlines()
+    assert "storage design: baseline" in lines[0]
+    assert "level 0" in lines[1] and "primary copy" in lines[1]
+    assert "level 1" in lines[2] and "split" in lines[2]
+    assert "level 2" in lines[3] and "tape-library" in lines[3]
+    assert "level 3" in lines[4] and "vault" in lines[4]
+
+    # Structural facts of Figure 1.
+    assert design.level(1).store is design.level(0).store
+    assert design.level(2).transport.name == "san"
+    assert design.level(3).transport.name == "air-shipment"
+    assert not design.level(3).store.location.same_region(
+        design.level(0).store.location
+    )

@@ -1,0 +1,69 @@
+"""Figures 2-3 — policy windows and the guaranteed range of RPs per level.
+
+Figure 2 specifies the baseline's window parameters; Figure 3 derives
+the range of retrieval points *guaranteed* present at a level:
+
+    [now - ((retCnt - 1) * cyclePer + holdW + propW),
+     now - (holdW + propW + accW)]
+
+This bench regenerates both: it prints each level's windows and its
+guaranteed range, and asserts the closed-form values for the baseline's
+split mirror, tape backup and vault levels (12 h / 217 h / 1429 h
+newest-RP ages — the same quantities that bound recent data loss).
+"""
+
+import pytest
+
+from repro import casestudy
+from repro.core.dataloss import level_range
+from repro.reporting import Table
+from repro.units import HOUR, WEEK, YEAR, format_duration
+
+
+def _ranges():
+    design = casestudy.baseline_design()
+    return design, [level_range(design, lvl) for lvl in design.secondary_levels()]
+
+
+def test_figure3_guaranteed_rp_ranges(benchmark):
+    design, ranges = benchmark(_ranges)
+
+    table = Table(
+        headers=[
+            "level", "technique", "newest guaranteed RP age",
+            "oldest guaranteed RP age",
+        ],
+        title="Figure 3: guaranteed range of RPs per level",
+    )
+    for rng in ranges:
+        table.add_row(
+            rng.level_index,
+            rng.technique_name,
+            format_duration(rng.newest_age),
+            format_duration(rng.oldest_age),
+        )
+    print()
+    print(table.render())
+
+    mirror, backup, vault = ranges
+
+    # Split mirror: lag accW = 12 h; reach (retCnt-1)*cyclePer = 36 h.
+    assert mirror.newest_age == pytest.approx(12 * HOUR)
+    assert mirror.oldest_age == pytest.approx(36 * HOUR)
+
+    # Backup: lag accW + holdW + propW = 168 + 1 + 48 = 217 h;
+    # reach 3 weeks further back.
+    assert backup.newest_age == pytest.approx(217 * HOUR)
+    assert backup.oldest_age == pytest.approx(3 * WEEK + 49 * HOUR)
+
+    # Vault: lag = upstream (49 h) + own accW + holdW + propW = 1429 h;
+    # reach ~3 years.
+    assert vault.newest_age == pytest.approx(1429 * HOUR)
+    assert vault.oldest_age == pytest.approx(
+        49 * HOUR + (4 * WEEK + 12 * HOUR + 24 * HOUR) + 38 * 4 * WEEK
+    )
+    assert vault.oldest_age > 2.9 * YEAR
+
+    # The figure's nesting: deeper levels lag more and reach further.
+    assert mirror.newest_age < backup.newest_age < vault.newest_age
+    assert mirror.oldest_age < backup.oldest_age < vault.oldest_age

@@ -1,0 +1,70 @@
+"""Figure 5 — overall system cost for the baseline, per failure scenario.
+
+Regenerates the outlay-by-technique breakdown plus penalties.  The
+paper's qualitative claims are asserted: penalties (above all recent
+data loss penalties) dominate for the array and site failures; outlays
+split roughly evenly between the foreground workload, split mirroring
+and tape backup, with negligible vaulting contribution.
+"""
+
+import pytest
+
+from repro import casestudy, evaluate_scenarios
+from repro.reporting import cost_breakdown_report, stacked_bar_chart
+from repro.units import format_money
+
+
+def _evaluate(workload, scenarios, requirements):
+    return evaluate_scenarios(
+        casestudy.baseline_design(), workload, scenarios, requirements
+    )
+
+
+def test_figure5_cost_breakdown(benchmark, workload, scenarios, requirements):
+    results = benchmark(_evaluate, workload, scenarios, requirements)
+    print()
+    print(cost_breakdown_report(results, title="Figure 5: overall system cost"))
+    print()
+    segments = list(next(iter(results.values())).costs.outlays_by_technique)
+    segments += ["outage penalty", "loss penalty"]
+    rows = {}
+    for label, assessment in results.items():
+        row = dict(assessment.costs.outlays_by_technique)
+        row["outage penalty"] = assessment.costs.outage_penalty
+        row["loss penalty"] = assessment.costs.loss_penalty
+        rows[label] = row
+    print(
+        stacked_bar_chart(
+            rows,
+            segment_order=segments,
+            title="Figure 5 (chart form): cost per failure scenario",
+            formatter=format_money,
+        )
+    )
+
+    first = next(iter(results.values()))
+    outlays = first.costs.outlays_by_technique
+    total_outlays = first.costs.total_outlays
+
+    # Paper: outlays "split roughly evenly between the foreground
+    # workload, split mirroring and tape backup".
+    for name in ("foreground workload", "split mirror", "backup"):
+        assert 0.1 < outlays[name] / total_outlays < 0.6, name
+    # "...with negligible contribution from remote vaulting."
+    assert outlays["remote vaulting"] / total_outlays < 0.08
+
+    # Paper: total outlays ~$0.97M/yr (ours within 25%, see EXPERIMENTS.md).
+    assert total_outlays == pytest.approx(0.97e6, rel=0.25)
+
+    # Penalties (especially data-loss penalties) dominate for hardware
+    # failures.
+    for fragment in ("array", "site"):
+        assessment = next(a for k, a in results.items() if fragment in k)
+        assert assessment.costs.total_penalties > 5 * total_outlays
+        assert assessment.costs.loss_penalty > 10 * assessment.costs.outage_penalty
+
+    # Paper totals: $11.94M (array), $71.94M (site).
+    array_total = next(a for k, a in results.items() if "array" in k).total_cost
+    site_total = next(a for k, a in results.items() if "site" in k).total_cost
+    assert array_total == pytest.approx(11.94e6, rel=0.1)
+    assert site_total == pytest.approx(71.94e6, rel=0.1)

@@ -1,0 +1,65 @@
+"""Table 2 — workload characterization.
+
+The paper measures the *cello* workgroup file server into five
+parameters.  The original trace is proprietary, so this bench generates
+a synthetic bursty trace (DESIGN.md's documented substitution), runs the
+characterization pipeline over it, and prints the measured parameters
+next to the paper's published cello values.  The assertions check the
+qualitative signature the models depend on: update < access rate,
+bursty writes, and a batch update rate that declines with the window.
+"""
+
+import pytest
+
+from repro.reporting import Table
+from repro.units import GB, KB, MB, format_rate, format_size
+from repro.workload import (
+    SyntheticWorkloadConfig,
+    characterize_trace,
+    generate_trace,
+)
+
+WINDOWS = ["1 min", "10 min", "30 min", "1 hr"]
+
+
+def _characterize():
+    config = SyntheticWorkloadConfig(
+        data_capacity=4 * GB,
+        duration=4 * 3600.0,
+        avg_access_rate=1028 * KB,
+        avg_update_rate=799 * KB,
+        burst_multiplier=10.0,
+        hot_fraction=0.02,
+        hot_weight=0.85,
+    )
+    trace = generate_trace(config, seed=2004)
+    return config, trace, characterize_trace(trace, windows=WINDOWS, name="synthetic cello")
+
+
+def test_table2_workload_characterization(benchmark):
+    config, trace, measured = benchmark(_characterize)
+
+    table = Table(
+        headers=["parameter", "paper (cello)", "measured (synthetic)"],
+        title="Table 2: workload characterization",
+    )
+    table.add_row("dataCap", "1360 GB", format_size(measured.data_capacity))
+    table.add_row("avgAccessR", "1028 KB/s", format_rate(measured.avg_access_rate))
+    table.add_row("avgUpdateR", "799 KB/s", format_rate(measured.avg_update_rate))
+    table.add_row("burstM", "10x", f"{measured.burst_multiplier:.1f}x")
+    for window in WINDOWS:
+        table.add_row(
+            f"batchUpdR({window})",
+            "(declines: 727 -> 317 KB/s)",
+            format_rate(measured.batch_update_rate(window)),
+        )
+    print()
+    print(table.render())
+
+    # Shape assertions: the cello signature.
+    assert measured.avg_access_rate == pytest.approx(config.avg_access_rate, rel=0.15)
+    assert measured.avg_update_rate == pytest.approx(config.avg_update_rate, rel=0.15)
+    assert measured.avg_update_rate < measured.avg_access_rate
+    assert measured.burst_multiplier > 2.0
+    rates = [measured.batch_update_rate(w) for w in WINDOWS]
+    assert rates[0] > rates[-1], "batch update rate must decline with the window"

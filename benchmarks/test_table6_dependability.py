@@ -1,0 +1,48 @@
+"""Table 6 — worst-case recovery time and recent data loss.
+
+Regenerates the baseline design's dependability under the three case
+study failure scopes.  Data-loss values match the paper exactly (12 h,
+217 h, 1429 h); recovery times match in structure (intra-array copy in
+milliseconds; transfer-dominated array recovery; shipment-dominated site
+recovery) with the absolute deltas recorded in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro import casestudy, evaluate_scenarios
+from repro.reporting import dependability_report
+from repro.units import HOUR
+
+#: Paper Table 6: scenario fragment -> (source, RT bounds (s), DL hours).
+PAPER_ROWS = {
+    "object": ("split mirror", (0.002, 0.02), 12),
+    "array": ("backup", (1 * HOUR, 3 * HOUR), 217),
+    "site": ("remote vaulting", (24 * HOUR, 28 * HOUR), 1429),
+}
+
+
+def _evaluate(workload, scenarios, requirements):
+    return evaluate_scenarios(
+        casestudy.baseline_design(), workload, scenarios, requirements
+    )
+
+
+def test_table6_recovery_and_loss(benchmark, workload, scenarios, requirements):
+    results = benchmark(_evaluate, workload, scenarios, requirements)
+    print()
+    print(dependability_report(results, title="Table 6: worst-case RT and DL"))
+
+    for fragment, (source, (rt_lo, rt_hi), loss_hours) in PAPER_ROWS.items():
+        assessment = next(a for k, a in results.items() if fragment in k)
+        assert assessment.data_loss.source_name == source, fragment
+        assert rt_lo <= assessment.recovery_time <= rt_hi, fragment
+        assert assessment.recent_data_loss == pytest.approx(
+            loss_hours * HOUR
+        ), fragment
+
+    # Deeper failure scopes recover from deeper levels, slower and with
+    # more loss — the structural claim of the table.
+    times = [a.recovery_time for a in results.values()]
+    losses = [a.recent_data_loss for a in results.values()]
+    assert times == sorted(times)
+    assert losses == sorted(losses)

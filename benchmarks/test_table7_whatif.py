@@ -1,0 +1,96 @@
+"""Table 7 — the seven what-if designs under array and site failures.
+
+Regenerates the paper's full comparison grid and asserts its orderings
+and crossovers: weekly vaulting slashes site-failure loss; incrementals
+and daily fulls cut array-failure loss (37 h and 73 h exactly);
+snapshots shave outlays at equal dependability; batched async mirroring
+reduces loss to minutes; and — the paper's closing irony — the
+single-link mirror has the lowest *total* cost of all seven designs
+despite a 20+ hour recovery, because its outlays are so much lower.
+"""
+
+import pytest
+
+from repro import casestudy
+from repro.design import run_whatif
+from repro.reporting import whatif_report
+from repro.units import HOUR
+
+
+def _run(workload, requirements):
+    scenarios = [
+        casestudy.array_failure_scenario(),
+        casestudy.site_failure_scenario(),
+    ]
+    designs = {
+        name: (lambda d=design_factory: d())
+        for name, design_factory in {
+            "baseline": casestudy.baseline_design,
+            "weekly vault": casestudy.weekly_vault_design,
+            "weekly vault, F+I": casestudy.weekly_vault_incrementals_design,
+            "weekly vault, daily F": casestudy.weekly_vault_daily_fulls_design,
+            "weekly vault, daily F, snapshot":
+                casestudy.weekly_vault_daily_fulls_snapshot_design,
+            "asyncB mirror, 1 link": lambda: casestudy.async_batch_mirror_design(1),
+            "asyncB mirror, 10 links": lambda: casestudy.async_batch_mirror_design(10),
+        }.items()
+    }
+    return run_whatif(designs, workload, scenarios, requirements)
+
+
+#: Paper Table 7 data-loss values (hours) per design: (array DL, site DL).
+PAPER_DATA_LOSS = {
+    "baseline": (217, 1429),
+    "weekly vault": (217, 253),
+    "weekly vault, F+I": (73, 253),
+    "weekly vault, daily F": (37, 217),
+    "weekly vault, daily F, snapshot": (37, 217),
+    "asyncB mirror, 1 link": (0.033, 0.033),
+    "asyncB mirror, 10 links": (0.033, 0.033),
+}
+
+
+def test_table7_whatif_scenarios(benchmark, workload, requirements):
+    results = benchmark(_run, workload, requirements)
+    by_name = {r.design_name: r for r in results}
+
+    grid = {r.design_name: r.assessments for r in results}
+    labels = list(results[0].assessments.keys())
+    print()
+    print(whatif_report(grid, labels, title="Table 7: what-if scenarios"))
+
+    # Exact data-loss agreements with the paper.
+    for name, (array_dl, site_dl) in PAPER_DATA_LOSS.items():
+        result = by_name[name]
+        assert result.scenario("array").recent_data_loss == pytest.approx(
+            array_dl * HOUR, rel=0.02
+        ), name
+        assert result.scenario("site").recent_data_loss == pytest.approx(
+            site_dl * HOUR, rel=0.02
+        ), name
+
+    # Ordering claims.
+    assert (
+        by_name["weekly vault, F+I"].scenario("array").recovery_time
+        > by_name["baseline"].scenario("array").recovery_time
+    ), "restoring full + incremental takes longer than full alone"
+    assert (
+        by_name["weekly vault, daily F, snapshot"].total_outlays
+        < by_name["weekly vault, daily F"].total_outlays
+    ), "snapshots are cheaper than split mirrors"
+    assert (
+        by_name["asyncB mirror, 10 links"].scenario("array").recovery_time
+        < by_name["asyncB mirror, 1 link"].scenario("array").recovery_time / 5
+    ), "ten links transfer nearly ten times faster"
+    assert (
+        by_name["asyncB mirror, 10 links"].scenario("site").recovery_time
+        > by_name["asyncB mirror, 10 links"].scenario("array").recovery_time
+    ), "site recovery pays the 9 h shared-facility provisioning"
+
+    # The paper's closing observation: the 1-link mirror has the lowest
+    # total cost across the board.
+    one_link = by_name["asyncB mirror, 1 link"]
+    for name, result in by_name.items():
+        if name == "asyncB mirror, 1 link":
+            continue
+        assert one_link.worst_total_cost < result.worst_total_cost, name

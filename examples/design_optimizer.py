@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Automated design selection: the paper's outer optimization loop.
+
+Enumerates a space of 16 candidate designs (PiT flavor x backup cadence
+x vaulting cadence, plus mirror-based designs), evaluates each against
+array and site failures, and picks the cheapest design that satisfies
+the business's RTO/RPO — showing how the answer changes as the
+objectives tighten.
+
+Run:  python examples/design_optimizer.py
+"""
+
+from repro import casestudy
+from repro.design import DesignSpace, candidate_designs, optimize
+from repro.reporting import Table
+from repro.scenarios import BusinessRequirements
+from repro.units import format_money
+from repro.workload.presets import cello
+
+
+def main() -> None:
+    workload = cello()
+    scenarios = [
+        casestudy.array_failure_scenario(),
+        casestudy.site_failure_scenario(),
+    ]
+    candidates = candidate_designs(DesignSpace())
+    print(f"design space: {len(candidates)} structurally valid candidates\n")
+
+    objective_grid = [
+        ("no objectives", None, None),
+        ("RTO 24 h / RPO 48 h", "24 hr", "48 hr"),
+        ("RTO 12 h / RPO 10 h", "12 hr", "10 hr"),
+        ("RTO 3 h / RPO 5 min", "3 hr", "5 min"),
+    ]
+
+    table = Table(
+        headers=["objectives", "feasible", "best design", "worst-case total"],
+        title="Optimizer outcomes as objectives tighten",
+    )
+    for label, rto, rpo in objective_grid:
+        requirements = BusinessRequirements.per_hour(
+            50_000, 50_000, rto=rto, rpo=rpo
+        )
+        outcome = optimize(candidates, workload, scenarios, requirements)
+        if outcome.best is not None:
+            table.add_row(
+                label,
+                outcome.feasible_count,
+                outcome.best.name,
+                format_money(outcome.best.objective),
+            )
+        else:
+            table.add_row(label, 0, "(none feasible)", "-")
+    print(table.render())
+    print()
+
+    # Show the full unconstrained ranking.
+    requirements = BusinessRequirements.per_hour(50_000, 50_000)
+    outcome = optimize(candidates, workload, scenarios, requirements)
+    ranking = Table(
+        headers=["rank", "design", "worst-case total cost"],
+        title="Unconstrained ranking (by worst-case total cost)",
+    )
+    for position, entry in enumerate(outcome.ranking, start=1):
+        ranking.add_row(position, entry.name, format_money(entry.objective))
+    print(ranking.render())
+    print()
+
+    # Hybrids: when rollback AND a tight RPO are both required, neither
+    # pure family works — branching hierarchies to the rescue.
+    from repro.scenarios import FailureScenario
+    from repro.units import MB
+
+    rollback_scenarios = scenarios + [
+        FailureScenario.object_corruption(1 * MB, "24 hr")
+    ]
+    strict = BusinessRequirements.per_hour(
+        50_000, 50_000, rto="12 hr", rpo="12 hr"
+    )
+    plain = optimize(candidates, workload, rollback_scenarios, strict)
+    hybrids = candidate_designs(DesignSpace(), include_hybrids=True)
+    hybrid = optimize(hybrids, workload, rollback_scenarios, strict)
+    print(
+        "with a 24 h rollback scenario plus RTO/RPO of 12 h:\n"
+        f"  pure families ({len(candidates)} candidates): "
+        f"{plain.feasible_count} feasible\n"
+        f"  with hybrid mirror+tape branches ({len(hybrids)} candidates): "
+        f"{hybrid.feasible_count} feasible; best = {hybrid.best.name} at "
+        f"{format_money(hybrid.best.objective)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

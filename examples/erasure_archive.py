@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Extending the framework with a new technique: erasure-coded archival.
+
+The paper's stated goal is that its abstractions "facilitate the
+inclusion of new techniques as they become available".  This example
+puts that to the test: a k-of-n wide-area erasure-coded archive (in the
+spirit of the paper's OceanStore reference) implemented purely on the
+common parameter set, dropped into a design, and compared head-to-head
+against classic tape vaulting for site-disaster protection.
+
+Run:  python examples/erasure_archive.py
+"""
+
+import repro
+from repro.devices.base import Device
+from repro.devices.catalog import (
+    air_shipment,
+    enterprise_tape_library,
+    midrange_disk_array,
+    oc3_links,
+    offsite_vault,
+    san_link,
+)
+from repro.devices.costs import CostModel
+from repro.reporting import Table
+from repro.scenarios.locations import REMOTE_SITE
+from repro.techniques import ErasureCodedArchive
+from repro.units import GB, format_duration, format_money
+from repro.workload.presets import cello
+
+
+def vaulting_design():
+    """The classic: tape backup + 4-weekly vault shipments."""
+    array = midrange_disk_array(spare=repro.SpareConfig.dedicated("60 s", 1.0))
+    design = repro.StorageDesign(
+        "tape vaulting", recovery_facility=repro.SpareConfig.shared("9 hr", 0.2)
+    )
+    design.add_level(repro.PrimaryCopy(), store=array)
+    design.add_level(repro.SplitMirror("12 hr", 4), store=array)
+    design.add_level(
+        repro.Backup("1 wk", "48 hr", "1 hr", 4),
+        store=enterprise_tape_library(spare=repro.SpareConfig.dedicated("60 s", 1.0)),
+        transport=san_link(),
+    )
+    design.add_level(
+        repro.RemoteVaulting("4 wk", "24 hr", "676 hr", 39),
+        store=offsite_vault(),
+        transport=air_shipment(),
+    )
+    return design
+
+
+def erasure_design():
+    """The newcomer: nightly 4-of-6 coded archive spread over the WAN."""
+    array = midrange_disk_array(spare=repro.SpareConfig.dedicated("60 s", 1.0))
+    fragment_store = Device(
+        "fragment-store",
+        max_capacity=200_000 * GB,
+        max_bandwidth=float("inf"),
+        cost_model=CostModel.from_paper_units(fixed=30_000.0, per_gb=1.1),
+        location=REMOTE_SITE,
+    )
+    design = repro.StorageDesign(
+        "erasure archive", recovery_facility=repro.SpareConfig.shared("9 hr", 0.2)
+    )
+    design.add_level(repro.PrimaryCopy(), store=array)
+    design.add_level(repro.SplitMirror("12 hr", 4), store=array)
+    design.add_level(
+        ErasureCodedArchive(
+            data_fragments=4,
+            total_fragments=6,
+            accumulation_window="24 hr",
+            propagation_window="12 hr",
+            retention_count=28,
+        ),
+        store=fragment_store,
+        transport=oc3_links(2),
+    )
+    return design
+
+
+def main() -> None:
+    workload = cello()
+    requirements = repro.BusinessRequirements.per_hour(50_000, 50_000)
+    scenario = repro.FailureScenario.site_disaster()
+
+    table = Table(
+        headers=["design", "site RT", "site DL", "outlays", "total cost"],
+        title="Site-disaster protection: tape vaulting vs erasure archive",
+    )
+    for factory in (vaulting_design, erasure_design):
+        design = factory()
+        result = repro.evaluate(design, workload, scenario, requirements)
+        table.add_row(
+            design.name,
+            format_duration(result.recovery_time),
+            format_duration(result.recent_data_loss),
+            format_money(result.costs.total_outlays),
+            format_money(result.total_cost),
+        )
+    print(table.render())
+    print()
+    print(
+        "The coded archive ships RPs nightly over the WAN instead of "
+        "4-weekly by courier: ~40x less data loss at a site disaster, no "
+        "24 h shipment on the recovery path, for extra WAN and remote "
+        "capacity outlays. The interesting part is HOW LITTLE code it "
+        "took: see src/repro/techniques/erasure.py -- one technique "
+        "class on the paper's common abstractions."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Multi-object portfolios: several datasets on shared hardware.
+
+The paper models one data object and notes the extension to many —
+tracking per-object demands and inter-object recovery dependencies.
+This example protects a three-tier service on shared hardware:
+
+* an OLTP **database** (the crown jewels),
+* an **application** volume that cannot come back before the database,
+* a **web content** volume that depends on the application.
+
+All three share one mid-range array and one tape library.  The example
+evaluates an array failure, showing the joint utilization, the
+dependency-ordered recovery schedule, and how the business-level outage
+differs from any single object's recovery time.
+
+Run:  python examples/multi_object_portfolio.py
+"""
+
+import repro
+from repro.devices.catalog import (
+    enterprise_tape_library,
+    midrange_disk_array,
+    san_link,
+)
+from repro.reporting import Table, bar_chart
+from repro.units import GB, HOUR, format_duration, format_money
+from repro.workload.presets import oltp_database, web_server
+
+
+def tiered_design(tier, array, library, san):
+    """Snapshot + weekly backup, labeled per tier."""
+    design = repro.StorageDesign(
+        f"{tier}-design",
+        recovery_facility=repro.SpareConfig.shared("9 hr", 0.2),
+    )
+    design.add_level(repro.PrimaryCopy(name=f"{tier} foreground"), store=array)
+    design.add_level(
+        repro.VirtualSnapshot("6 hr", 4, name=f"{tier} snapshots"), store=array
+    )
+    design.add_level(
+        repro.Backup("1 wk", "24 hr", "1 hr", 4, name=f"{tier} backup"),
+        store=library,
+        transport=san,
+    )
+    return design
+
+
+def main() -> None:
+    array = midrange_disk_array(spare=repro.SpareConfig.dedicated("60 s", 1.0))
+    library = enterprise_tape_library(spare=repro.SpareConfig.dedicated("60 s", 1.0))
+    san = san_link()
+
+    portfolio = repro.Portfolio("three-tier service")
+    portfolio.add_object(
+        "database", oltp_database(), tiered_design("db", array, library, san)
+    )
+    portfolio.add_object(
+        "application",
+        web_server(400 * GB),
+        tiered_design("app", array, library, san),
+        depends_on=["database"],
+    )
+    portfolio.add_object(
+        "web content",
+        web_server(800 * GB),
+        tiered_design("web", array, library, san),
+        depends_on=["application"],
+    )
+
+    requirements = repro.BusinessRequirements.per_hour(40_000, 40_000)
+    assessment = portfolio.evaluate(
+        repro.FailureScenario.array_failure("primary-array"), requirements
+    )
+
+    util = assessment.utilization
+    print(
+        f"joint utilization: capacity {util.max_capacity_utilization:.1%} "
+        f"({util.max_capacity_device}), bandwidth "
+        f"{util.max_bandwidth_utilization:.1%} ({util.max_bandwidth_device})\n"
+    )
+
+    table = Table(
+        headers=["object", "loss", "recovery start", "recovery finish"],
+        title="Dependency-ordered recovery schedule (array failure)",
+    )
+    for name, outcome in assessment.outcomes.items():
+        table.add_row(
+            name,
+            format_duration(outcome.data_loss.data_loss),
+            format_duration(outcome.recovery_start),
+            format_duration(outcome.recovery_finish),
+        )
+    print(table.render())
+    print()
+
+    print(
+        bar_chart(
+            {
+                name: outcome.recovery_finish / HOUR
+                for name, outcome in assessment.outcomes.items()
+            },
+            title="Outage experienced per object (hours)",
+            formatter=lambda v: f"{v:.2f} h",
+        )
+    )
+    print()
+    print(assessment.summary())
+    print(f"annual outlays: {format_money(assessment.total_outlays)}")
+    print(
+        "note: the business is down until the LAST tier returns -- "
+        f"{format_duration(assessment.portfolio_recovery_time)}, not the "
+        f"database's own "
+        f"{format_duration(assessment.outcomes['database'].own_recovery_time)}."
+    )
+
+
+if __name__ == "__main__":
+    main()

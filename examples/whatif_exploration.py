@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""What-if exploration: the paper's Table 7, and one step beyond.
+
+Evaluates the seven case-study designs under array and site failures
+(Table 7), then extends the exploration the way a storage architect
+would: what if the vault went to *daily* shipments, and what if the
+batched mirror used a 5-minute window to cut link demand?
+
+Run:  python examples/whatif_exploration.py
+"""
+
+from repro import casestudy
+from repro.design import run_whatif
+from repro.reporting import whatif_report
+from repro.techniques import RemoteVaulting
+from repro.units import HOUR, format_duration, format_money
+from repro.workload.presets import cello
+
+
+def daily_vault_design():
+    """Baseline with daily vault shipments (beyond the paper's grid)."""
+    return casestudy._tape_design(
+        "daily vault (extension)",
+        casestudy._baseline_split_mirror(),
+        casestudy._baseline_backup(),
+        RemoteVaulting(
+            accumulation_window="1 wk",  # ship weekly: fulls only exist weekly
+            propagation_window="24 hr",
+            hold_window="1 hr",
+            retention_count=156,
+        ),
+    )
+
+
+def main() -> None:
+    workload = cello()
+    requirements = casestudy.case_study_requirements()
+    scenarios = [
+        casestudy.array_failure_scenario(),
+        casestudy.site_failure_scenario(),
+    ]
+
+    designs = {
+        name: (lambda d=factory: d())
+        for name, factory in {
+            "baseline": casestudy.baseline_design,
+            "weekly vault": casestudy.weekly_vault_design,
+            "weekly vault, F+I": casestudy.weekly_vault_incrementals_design,
+            "weekly vault, daily F": casestudy.weekly_vault_daily_fulls_design,
+            "weekly vault, daily F, snapshot":
+                casestudy.weekly_vault_daily_fulls_snapshot_design,
+            "asyncB mirror, 1 link": lambda: casestudy.async_batch_mirror_design(1),
+            "asyncB mirror, 10 links": lambda: casestudy.async_batch_mirror_design(10),
+            "daily vault (extension)": daily_vault_design,
+        }.items()
+    }
+
+    results = run_whatif(designs, workload, scenarios, requirements)
+    grid = {r.design_name: r.assessments for r in results}
+    labels = list(results[0].assessments.keys())
+    print(whatif_report(grid, labels, title="Table 7 (+1 extension): what-if scenarios"))
+    print()
+
+    cheapest = min(results, key=lambda r: r.worst_total_cost)
+    fastest = min(results, key=lambda r: r.worst_recovery_time)
+    safest = min(results, key=lambda r: r.worst_data_loss)
+    print(
+        f"cheapest worst-case total: {cheapest.design_name} "
+        f"({format_money(cheapest.worst_total_cost)})"
+    )
+    print(
+        f"fastest worst-case recovery: {fastest.design_name} "
+        f"({format_duration(fastest.worst_recovery_time)})"
+    )
+    print(
+        f"least worst-case data loss: {safest.design_name} "
+        f"({format_duration(safest.worst_data_loss)})"
+    )
+
+
+if __name__ == "__main__":
+    main()

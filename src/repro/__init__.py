@@ -1,0 +1,141 @@
+"""repro — a framework for evaluating storage system dependability.
+
+A complete Python implementation of Keeton & Merchant, *A Framework for
+Evaluating Storage System Dependability* (DSN 2004): analytic models of
+data protection techniques (PiT copies, inter-array mirroring, backup,
+vaulting), hardware device models, and the compositional framework that
+turns a storage system design plus a workload, failure scenario and
+business requirements into the paper's four output metrics — normal
+mode utilization, worst-case recovery time, worst-case recent data loss
+and overall cost.
+
+Quick start::
+
+    import repro
+
+    workload = repro.workload.cello()
+    design = repro.casestudy.baseline_design()
+    result = repro.evaluate(
+        design,
+        workload,
+        repro.FailureScenario.array_failure("primary-array"),
+        repro.BusinessRequirements.per_hour(50_000, 50_000),
+    )
+    print(result.summary())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every table and figure.
+"""
+
+from . import casestudy, units, workload
+from .core import (
+    Assessment,
+    Level,
+    StorageDesign,
+    evaluate,
+    evaluate_scenarios,
+    plan_recovery,
+    validate_design,
+)
+from .devices import (
+    CostModel,
+    DiskArray,
+    NetworkLink,
+    Shipment,
+    SpareConfig,
+    SpareType,
+    TapeLibrary,
+    Vault,
+)
+from .exceptions import (
+    BandwidthExceededError,
+    CapacityExceededError,
+    DesignError,
+    DeviceError,
+    PolicyError,
+    RecoveryError,
+    ReproError,
+    UnitError,
+    WorkloadError,
+)
+from .scenarios import (
+    BusinessRequirements,
+    FailureScenario,
+    FailureScope,
+    Location,
+)
+from .techniques import (
+    AsyncMirror,
+    Backup,
+    BatchedAsyncMirror,
+    ErasureCodedArchive,
+    IncrementalKind,
+    IncrementalPolicy,
+    PrimaryCopy,
+    RemoteVaulting,
+    SplitMirror,
+    SyncMirror,
+    VirtualSnapshot,
+)
+from .portfolio import Portfolio, PortfolioAssessment, ProtectedObject
+from .workload import BatchUpdateCurve, Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # sub-modules kept importable as namespaces
+    "casestudy",
+    "units",
+    "workload",
+    # workload
+    "Workload",
+    "BatchUpdateCurve",
+    # scenarios
+    "BusinessRequirements",
+    "FailureScenario",
+    "FailureScope",
+    "Location",
+    # devices
+    "CostModel",
+    "DiskArray",
+    "TapeLibrary",
+    "Vault",
+    "NetworkLink",
+    "Shipment",
+    "SpareConfig",
+    "SpareType",
+    # techniques
+    "PrimaryCopy",
+    "VirtualSnapshot",
+    "SplitMirror",
+    "SyncMirror",
+    "AsyncMirror",
+    "BatchedAsyncMirror",
+    "Backup",
+    "IncrementalKind",
+    "IncrementalPolicy",
+    "RemoteVaulting",
+    "ErasureCodedArchive",
+    # multi-object portfolios
+    "Portfolio",
+    "PortfolioAssessment",
+    "ProtectedObject",
+    # core
+    "StorageDesign",
+    "Level",
+    "evaluate",
+    "evaluate_scenarios",
+    "plan_recovery",
+    "validate_design",
+    "Assessment",
+    # exceptions
+    "ReproError",
+    "UnitError",
+    "WorkloadError",
+    "DeviceError",
+    "CapacityExceededError",
+    "BandwidthExceededError",
+    "PolicyError",
+    "DesignError",
+    "RecoveryError",
+]

@@ -1,0 +1,272 @@
+"""The DSN'04 case study: inputs of Tables 2–4 and the Table 7 designs.
+
+Factory functions here assemble the exact storage system designs the
+paper evaluates:
+
+* :func:`baseline_design` — split mirroring (12 h x4) + weekly full tape
+  backup (48 h window, 4 cycles) + 4-weekly vaulting (39 fulls, 3 years);
+* the six what-if variants of Table 7 (weekly vault; weekly vault with
+  daily cumulative incrementals; weekly vault with daily fulls; the same
+  with snapshots instead of split mirrors; batched asynchronous
+  mirroring over 1 or 10 OC-3 links);
+* :func:`case_study_scenarios` — the three failure scopes of Table 6
+  (a 1 MB object rolled back 24 h, the primary array, the primary site).
+
+Every design uses the Table 4 device catalog and the section 4 sparing
+story: dedicated hot spares (60 s, 1.0x) on the primary array and tape
+library, plus a shared remote recovery facility (9 h, 0.2x).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .core.hierarchy import StorageDesign
+from .devices.catalog import (
+    air_shipment,
+    enterprise_tape_library,
+    midrange_disk_array,
+    oc3_links,
+    offsite_vault,
+    san_link,
+)
+from .devices.spares import SpareConfig
+from .scenarios.failures import FailureScenario
+from .scenarios.locations import PRIMARY_SITE, REMOTE_SITE
+from .scenarios.requirements import BusinessRequirements
+from .techniques.backup import Backup, IncrementalKind, IncrementalPolicy
+from .techniques.mirroring import BatchedAsyncMirror
+from .techniques.primary import PrimaryCopy
+from .techniques.snapshot import VirtualSnapshot
+from .techniques.split_mirror import SplitMirror
+from .techniques.vaulting import RemoteVaulting
+from .units import HOUR, MB, WEEK
+
+
+def case_study_requirements() -> BusinessRequirements:
+    """$50,000 per hour for both unavailability and recent data loss."""
+    return BusinessRequirements.per_hour(50_000.0, 50_000.0)
+
+
+def recovery_facility() -> SpareConfig:
+    """The shared remote hosting facility: 9 h to provision, 0.2x cost."""
+    return SpareConfig.shared("9 hr", 0.2)
+
+
+def hot_spare() -> SpareConfig:
+    """A dedicated hot spare: 60 s to provision, full price."""
+    return SpareConfig.dedicated("60 s", 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Building blocks shared by the tape-based designs.
+# ---------------------------------------------------------------------------
+
+
+def _tape_design(
+    name: str,
+    pit_technique,
+    backup: Backup,
+    vaulting: RemoteVaulting,
+) -> StorageDesign:
+    """Primary + PiT copies + tape backup + vaulting on catalog hardware."""
+    array = midrange_disk_array(spare=hot_spare())
+    library = enterprise_tape_library(spare=hot_spare())
+    vault = offsite_vault()
+    san = san_link()
+    courier = air_shipment()
+
+    design = StorageDesign(name, recovery_facility=recovery_facility())
+    design.add_level(PrimaryCopy(), store=array)
+    design.add_level(pit_technique, store=array)
+    design.add_level(backup, store=library, transport=san)
+    design.add_level(vaulting, store=vault, transport=courier)
+    return design
+
+
+def _baseline_split_mirror() -> SplitMirror:
+    """Table 3: splits every 12 h, 4 accessible mirrors (2 days)."""
+    return SplitMirror("12 hr", retention_count=4)
+
+
+def _baseline_backup() -> Backup:
+    """Table 3: weekly fulls, 48 h backup window, 1 h offset, 4 cycles."""
+    return Backup(
+        full_accumulation_window="1 wk",
+        full_propagation_window="48 hr",
+        full_hold_window="1 hr",
+        retention_count=4,
+    )
+
+
+def _baseline_vaulting() -> RemoteVaulting:
+    """Table 3: ship every 4 weeks after on-site retention, keep 3 years."""
+    return RemoteVaulting(
+        accumulation_window="4 wk",
+        propagation_window="24 hr",
+        hold_window=4 * WEEK + 12 * HOUR,
+        retention_count=39,
+    )
+
+
+def _weekly_vaulting() -> RemoteVaulting:
+    """Table 7 "weekly vault": weekly accW, 12 h holdW, same 3-year reach."""
+    return RemoteVaulting(
+        accumulation_window="1 wk",
+        propagation_window="24 hr",
+        hold_window="12 hr",
+        retention_count=156,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The seven Table 7 designs.
+# ---------------------------------------------------------------------------
+
+
+def baseline_design() -> StorageDesign:
+    """The Figure 1 / Tables 3–4 baseline configuration."""
+    return _tape_design(
+        "baseline",
+        _baseline_split_mirror(),
+        _baseline_backup(),
+        _baseline_vaulting(),
+    )
+
+
+def weekly_vault_design() -> StorageDesign:
+    """Baseline with weekly (instead of 4-weekly) vault shipments."""
+    return _tape_design(
+        "weekly vault",
+        _baseline_split_mirror(),
+        _baseline_backup(),
+        _weekly_vaulting(),
+    )
+
+
+def weekly_vault_incrementals_design() -> StorageDesign:
+    """Weekly vault + weekly fulls with 5 daily cumulative incrementals.
+
+    Table 7 "Weekly vault, F+I": 48 h accW and propW for fulls, 24 h accW
+    and 12 h propW for incrementals, cycleCnt 5.
+    """
+    backup = Backup(
+        full_accumulation_window="48 hr",
+        full_propagation_window="48 hr",
+        full_hold_window="1 hr",
+        retention_count=4,
+        incremental=IncrementalPolicy(
+            kind=IncrementalKind.CUMULATIVE,
+            count=5,
+            accumulation_window="24 hr",
+            propagation_window="12 hr",
+            hold_window="1 hr",
+        ),
+    )
+    return _tape_design(
+        "weekly vault, F+I",
+        _baseline_split_mirror(),
+        backup,
+        _weekly_vaulting(),
+    )
+
+
+def weekly_vault_daily_fulls_design() -> StorageDesign:
+    """Weekly vault + daily full backups (24 h accW, 12 h propW)."""
+    backup = Backup(
+        full_accumulation_window="24 hr",
+        full_propagation_window="12 hr",
+        full_hold_window="1 hr",
+        retention_count=4,
+    )
+    return _tape_design(
+        "weekly vault, daily F",
+        _baseline_split_mirror(),
+        backup,
+        _weekly_vaulting(),
+    )
+
+
+def weekly_vault_daily_fulls_snapshot_design() -> StorageDesign:
+    """Daily fulls with virtual snapshots instead of split mirrors."""
+    backup = Backup(
+        full_accumulation_window="24 hr",
+        full_propagation_window="12 hr",
+        full_hold_window="1 hr",
+        retention_count=4,
+    )
+    return _tape_design(
+        "weekly vault, daily F, snapshot",
+        VirtualSnapshot("12 hr", retention_count=4),
+        backup,
+        _weekly_vaulting(),
+    )
+
+
+def async_batch_mirror_design(link_count: int = 1) -> StorageDesign:
+    """Batched asynchronous mirroring over OC-3 links (Table 7, last rows).
+
+    One-minute batches to a remote mid-range array; no tape hierarchy.
+    """
+    primary = midrange_disk_array(spare=hot_spare())
+    secondary = midrange_disk_array(
+        name="mirror-array", location=REMOTE_SITE, spare=SpareConfig.none()
+    )
+    links = oc3_links(link_count=link_count)
+
+    design = StorageDesign(
+        f"asyncB mirror, {link_count} link{'s' if link_count != 1 else ''}",
+        recovery_facility=recovery_facility(),
+    )
+    design.add_level(PrimaryCopy(), store=primary)
+    design.add_level(
+        BatchedAsyncMirror(accumulation_window="1 min"),
+        store=secondary,
+        transport=links,
+    )
+    return design
+
+
+def all_table7_designs() -> "Dict[str, StorageDesign]":
+    """The seven designs of Table 7, in the paper's row order."""
+    designs = [
+        baseline_design(),
+        weekly_vault_design(),
+        weekly_vault_incrementals_design(),
+        weekly_vault_daily_fulls_design(),
+        weekly_vault_daily_fulls_snapshot_design(),
+        async_batch_mirror_design(1),
+        async_batch_mirror_design(10),
+    ]
+    return {design.name: design for design in designs}
+
+
+# ---------------------------------------------------------------------------
+# The Table 6 failure scenarios.
+# ---------------------------------------------------------------------------
+
+
+def object_failure_scenario() -> FailureScenario:
+    """A corrupted 1 MB object rolled back to its state 24 h earlier."""
+    return FailureScenario.object_corruption(
+        object_size=1 * MB, recovery_target_age="24 hr"
+    )
+
+
+def array_failure_scenario() -> FailureScenario:
+    """Failure of the primary array; recover everything to 'now'."""
+    return FailureScenario.array_failure("primary-array")
+
+
+def site_failure_scenario() -> FailureScenario:
+    """A disaster destroying the primary site."""
+    return FailureScenario.site_disaster(PRIMARY_SITE)
+
+
+def case_study_scenarios() -> "List[FailureScenario]":
+    """Object, array and site failures, in Table 6 order."""
+    return [
+        object_failure_scenario(),
+        array_failure_scenario(),
+        site_failure_scenario(),
+    ]

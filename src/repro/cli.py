@@ -1,0 +1,222 @@
+"""Command-line interface: evaluate storage designs from JSON specs.
+
+Usage::
+
+    python -m repro case-study                 # reproduce Tables 5-7
+    python -m repro evaluate spec.json         # evaluate a JSON spec
+    python -m repro list-designs               # named designs available
+
+A spec file looks like::
+
+    {
+      "workload": "cello",
+      "design": "baseline",
+      "scenarios": ["object", "array", "site"],
+      "requirements": {"unavailability_per_hour": 50000,
+                       "loss_per_hour": 50000}
+    }
+
+with ``workload`` and ``design`` accepting either preset names or full
+dictionaries (see :mod:`repro.serialization`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .casestudy import (
+    all_table7_designs,
+    case_study_requirements,
+    case_study_scenarios,
+)
+from .core.evaluate import evaluate_scenarios
+from .exceptions import ReproError
+from .reporting.report import (
+    cost_breakdown_report,
+    dependability_report,
+    utilization_report,
+    whatif_report,
+)
+from .serialization import (
+    design_from_spec,
+    requirements_from_spec,
+    scenario_from_spec,
+    workload_from_spec,
+)
+from .workload.presets import cello
+
+
+def _cmd_case_study(_args: argparse.Namespace) -> int:
+    """Print the paper's Tables 5, 6 and the Figure 5 breakdown."""
+    workload = cello()
+    requirements = case_study_requirements()
+    scenarios = case_study_scenarios()
+    designs = all_table7_designs()
+
+    baseline = designs["baseline"]
+    results = evaluate_scenarios(baseline, workload, scenarios, requirements)
+    first = next(iter(results.values()))
+    print(baseline.render_hierarchy())
+    print()
+    print(utilization_report(first.utilization, title="Table 5: normal mode utilization"))
+    print()
+    print(dependability_report(results, title="Table 6: worst-case RT and DL"))
+    print()
+    print(cost_breakdown_report(results, title="Figure 5: overall system cost"))
+    print()
+
+    hardware = [s for s in scenarios if s.scope.is_hardware]
+    grid = {}
+    labels: "List[str]" = []
+    for name, design in designs.items():
+        assessments = evaluate_scenarios(design, workload, hardware, requirements)
+        grid[name] = assessments
+        labels = list(assessments.keys())
+    print(whatif_report(grid, labels, title="Table 7: what-if scenarios"))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    """Evaluate the design/workload/scenarios of a JSON spec file."""
+    with open(args.spec) as handle:
+        spec = json.load(handle)
+    workload = workload_from_spec(spec.get("workload", "cello"))
+    design = design_from_spec(spec.get("design", "baseline"))
+    scenario_specs = spec.get("scenarios", ["array"])
+    scenarios = [scenario_from_spec(s) for s in scenario_specs]
+    if "requirements" in spec:
+        requirements = requirements_from_spec(spec["requirements"])
+    else:
+        requirements = case_study_requirements()
+
+    results = evaluate_scenarios(design, workload, scenarios, requirements)
+    first = next(iter(results.values()))
+    print(design.render_hierarchy())
+    print()
+    print(f"workload: {workload.describe()}")
+    print()
+    print(utilization_report(first.utilization))
+    print()
+    print(dependability_report(results))
+    print()
+    print(cost_breakdown_report(results))
+    for label, assessment in results.items():
+        if assessment.recovery is not None:
+            print()
+            print(f"[{label}]")
+            print(assessment.recovery.render_timeline())
+    if any(not a.meets_objectives for a in results.values()):
+        print()
+        print("WARNING: declared RTO/RPO objectives are violated")
+        return 1
+    return 0
+
+
+def _cmd_list_designs(_args: argparse.Namespace) -> int:
+    """List the named designs a spec file can reference."""
+    for name, design in all_table7_designs().items():
+        print(f"{name}: {len(design.levels)} levels")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    """Search the catalog design space for the cheapest feasible design."""
+    from .design import DesignSpace, candidate_designs, optimize
+    from .reporting.tables import Table
+    from .scenarios.failures import FailureScenario
+    from .scenarios.requirements import BusinessRequirements
+    from .units import format_money
+
+    if args.spec is not None:
+        with open(args.spec) as handle:
+            spec = json.load(handle)
+        workload = workload_from_spec(spec.get("workload", "cello"))
+        scenarios = [
+            scenario_from_spec(s)
+            for s in spec.get("scenarios", ["array", "site"])
+        ]
+        if "requirements" in spec:
+            requirements = requirements_from_spec(spec["requirements"])
+        else:
+            requirements = case_study_requirements()
+    else:
+        workload = cello()
+        scenarios = [
+            FailureScenario.array_failure("primary-array"),
+            FailureScenario.site_disaster(),
+        ]
+        requirements = BusinessRequirements.per_hour(
+            50_000, 50_000, rto=args.rto, rpo=args.rpo
+        )
+
+    candidates = candidate_designs(DesignSpace())
+    outcome = optimize(candidates, workload, scenarios, requirements)
+    print(outcome.summary())
+    print()
+    table = Table(
+        headers=["rank", "design", "feasible", "worst-case total"],
+        title="Ranking (by worst-case total cost)",
+    )
+    for position, entry in enumerate(outcome.ranking, start=1):
+        table.add_row(
+            position,
+            entry.name,
+            "yes" if entry.feasible else "no",
+            format_money(entry.objective),
+        )
+    print(table.render())
+    return 0 if outcome.best is not None else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for doc generation and tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dependability",
+        description="Evaluate storage system dependability (Keeton & "
+        "Merchant, DSN 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    case = sub.add_parser("case-study", help="reproduce the paper's case study")
+    case.set_defaults(func=_cmd_case_study)
+
+    ev = sub.add_parser("evaluate", help="evaluate a JSON spec file")
+    ev.add_argument("spec", help="path to the JSON spec")
+    ev.set_defaults(func=_cmd_evaluate)
+
+    ls = sub.add_parser("list-designs", help="list named designs")
+    ls.set_defaults(func=_cmd_list_designs)
+
+    opt = sub.add_parser(
+        "optimize",
+        help="search the catalog design space for the cheapest feasible design",
+    )
+    opt.add_argument(
+        "spec", nargs="?", default=None,
+        help="optional JSON spec supplying workload/scenarios/requirements",
+    )
+    opt.add_argument("--rto", default=None, help='recovery time objective, e.g. "4 hr"')
+    opt.add_argument("--rpo", default=None, help='recovery point objective, e.g. "1 hr"')
+    opt.set_defaults(func=_cmd_optimize)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

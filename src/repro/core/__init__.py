@@ -1,0 +1,56 @@
+"""The compositional framework (paper section 3.3).
+
+This package combines the data protection technique models and the
+hardware device models into whole-system answers:
+
+* :mod:`repro.core.hierarchy` — :class:`Level` and
+  :class:`StorageDesign`: the RP propagation hierarchy and its device
+  bindings;
+* :mod:`repro.core.validate` — the section 3.2.1 inter-level parameter
+  conventions;
+* :mod:`repro.core.demands` — walking the hierarchy to register every
+  technique's demands on its devices;
+* :mod:`repro.core.utilization` — normal-mode utilization (§3.3.1);
+* :mod:`repro.core.dataloss` — RP range math and worst-case recent data
+  loss (§3.3.2–3.3.3), including recovery-source selection;
+* :mod:`repro.core.recovery` — the recovery-time recursion with its
+  per-step breakdown (§3.3.4, Figure 4);
+* :mod:`repro.core.cost` — outlays and penalties (§3.3.5);
+* :mod:`repro.core.results` — result dataclasses;
+* :mod:`repro.core.evaluate` — the one-call entry point
+  :func:`~repro.core.evaluate.evaluate`.
+"""
+
+from .hierarchy import Level, StorageDesign
+from .demands import register_design_demands
+from .utilization import SystemUtilization, compute_utilization
+from .dataloss import DataLossResult, compute_data_loss, find_recovery_source
+from .recovery import RecoveryPlan, RecoveryStep, plan_recovery
+from .options import RecoveryOption, recovery_options, time_optimal_option
+from .cost import CostBreakdown, compute_costs
+from .results import Assessment
+from .evaluate import evaluate, evaluate_scenarios
+from .validate import validate_design
+
+__all__ = [
+    "Level",
+    "StorageDesign",
+    "register_design_demands",
+    "SystemUtilization",
+    "compute_utilization",
+    "DataLossResult",
+    "compute_data_loss",
+    "find_recovery_source",
+    "RecoveryPlan",
+    "RecoveryStep",
+    "plan_recovery",
+    "RecoveryOption",
+    "recovery_options",
+    "time_optimal_option",
+    "CostBreakdown",
+    "compute_costs",
+    "Assessment",
+    "evaluate",
+    "evaluate_scenarios",
+    "validate_design",
+]

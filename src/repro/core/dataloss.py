@@ -1,0 +1,148 @@
+"""Recent data loss and recovery-source selection (paper §3.3.2–3.3.3).
+
+For each surviving level the framework computes the range of time whose
+RPs are *guaranteed* present (Figure 3): the newest guaranteed RP is
+``sum(holdW_i + propW_i) + accW_j`` old (generalized here to the cycle
+model's worst lag plus the upstream delays), and the oldest reaches back
+a further ``(retCnt_j - 1) * cyclePer_j``.
+
+Given the recovery target, three cases per level (§3.3.3):
+
+1. target newer than the level's newest guaranteed RP → the level is
+   usable, losing the level's full time lag of recent updates;
+2. target within the guaranteed range → usable, losing at most the
+   worst spacing between RPs (the paper's ``accW_j``);
+3. target older than the range → the level cannot serve the recovery.
+
+The closest usable level (lowest index — fastest media, freshest RPs)
+becomes the recovery source.  If no level qualifies, the data object is
+lost in its entirety.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..exceptions import RecoveryError
+from ..scenarios.failures import FailureScenario
+from .hierarchy import Level, StorageDesign
+
+
+@dataclass(frozen=True)
+class LevelRange:
+    """A level's guaranteed RP age range (ages relative to 'now')."""
+
+    level_index: int
+    technique_name: str
+    newest_age: float
+    oldest_age: float
+
+    def covers(self, target_age: float) -> bool:
+        """Whether an RP at or before the target age is guaranteed here."""
+        return target_age <= self.oldest_age
+
+
+@dataclass(frozen=True)
+class DataLossResult:
+    """Worst-case recent data loss and the level that bounds it."""
+
+    source_level: Optional[Level]
+    data_loss: float
+    total_loss: bool
+    target_age: float
+    ranges: Tuple[LevelRange, ...]
+
+    @property
+    def source_name(self) -> str:
+        """The recovery source technique's name ("split mirror", ...)."""
+        if self.source_level is None:
+            return "(unrecoverable)"
+        return self.source_level.technique.name
+
+
+def level_range(design: StorageDesign, level: Level) -> LevelRange:
+    """The Figure 3 guaranteed range for one level of a design."""
+    upstream = design.upstream_delay(level.index)
+    technique = level.technique
+    newest_age = upstream + technique.worst_lag()
+    oldest_age = (
+        upstream
+        + technique.full_availability_delay()
+        + technique.retention_span()
+    )
+    return LevelRange(
+        level_index=level.index,
+        technique_name=technique.name,
+        newest_age=newest_age,
+        oldest_age=max(oldest_age, newest_age - technique.worst_spacing()),
+    )
+
+
+def _loss_for_level(
+    design: StorageDesign, level: Level, target_age: float
+) -> Optional[float]:
+    """Worst-case loss using this level, or None when it cannot serve."""
+    rng = level_range(design, level)
+    if target_age < rng.newest_age:
+        # Case 1: the wanted RP hasn't propagated here yet; restore the
+        # newest RP present and lose the level's whole time lag.
+        return rng.newest_age
+    if target_age <= rng.oldest_age:
+        # Case 2: RPs bracketing the target are retained; lose at most
+        # one RP spacing relative to the target.
+        return level.technique.worst_spacing()
+    # Case 3: too old — already expired from this level.
+    return None
+
+
+def find_recovery_source(
+    design: StorageDesign, scenario: FailureScenario
+) -> DataLossResult:
+    """Pick the recovery source level and its worst-case data loss.
+
+    Surviving levels are considered closest-first (they hold the most
+    recent RPs on the fastest media).  A level whose guaranteed range
+    has expired past the target is skipped; if every level has, the
+    object is a total loss.
+    """
+    target_age = scenario.recovery_target_age
+    survivors = design.surviving_levels(scenario)
+    ranges = tuple(level_range(design, level) for level in survivors)
+    for level in survivors:
+        loss = _loss_for_level(design, level, target_age)
+        if loss is not None:
+            return DataLossResult(
+                source_level=level,
+                data_loss=loss,
+                total_loss=False,
+                target_age=target_age,
+                ranges=ranges,
+            )
+    return DataLossResult(
+        source_level=None,
+        data_loss=float("inf"),
+        total_loss=True,
+        target_age=target_age,
+        ranges=ranges,
+    )
+
+
+def compute_data_loss(
+    design: StorageDesign,
+    scenario: FailureScenario,
+    allow_total_loss: bool = True,
+) -> DataLossResult:
+    """Worst-case recent data loss for the scenario.
+
+    With ``allow_total_loss=False`` an unrecoverable scenario raises
+    :class:`~repro.exceptions.RecoveryError` instead of returning an
+    infinite loss.
+    """
+    result = find_recovery_source(design, scenario)
+    if result.total_loss and not allow_total_loss:
+        raise RecoveryError(
+            f"design {design.name!r} retains no RP usable for "
+            f"{scenario.describe()}: the data object is lost"
+        )
+    return result

@@ -1,0 +1,39 @@
+"""Registering a design's workload demands on its devices.
+
+Walks the hierarchy in level order, handing each technique the devices
+of its level plus the previous level's store (for propagation reads) and
+technique (for retention-window interactions such as vaulting's
+extra-copy rule).  Clearing first makes the operation idempotent, so a
+design can be re-evaluated with different workloads.
+"""
+
+from __future__ import annotations
+
+from ..workload.spec import Workload
+from .hierarchy import StorageDesign
+
+
+def register_design_demands(
+    design: StorageDesign, workload: Workload, clear: bool = True
+) -> None:
+    """(Re)register every level's demands for the given workload.
+
+    ``clear=False`` accumulates on top of existing demands — used by the
+    portfolio evaluator when several objects' designs share devices (the
+    caller clears each shared device exactly once up front).
+    """
+    if clear:
+        for device in design.devices():
+            device.clear_demands()
+    for level in design.levels:
+        if level.index == 0:
+            level.technique.register_demands(workload, store=level.store)
+            continue
+        parent = design.parent_of(level)
+        level.technique.register_demands(
+            workload,
+            store=level.store,
+            source_store=parent.store,
+            transport=level.transport,
+            source_technique=parent.technique,
+        )

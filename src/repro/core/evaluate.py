@@ -1,0 +1,98 @@
+"""The one-call evaluation entry point.
+
+:func:`evaluate` runs the whole pipeline for one design, workload,
+failure scenario and set of business requirements:
+
+1. validate the design against the paper's conventions;
+2. register all workload demands on the devices;
+3. compute normal-mode utilization (raising on over-commitment);
+4. pick the recovery source and worst-case recent data loss;
+5. build the recovery plan and its worst-case recovery time;
+6. price outlays and penalties.
+
+:func:`evaluate_scenarios` amortizes steps 1–3 across several scenarios
+(the case study evaluates object / array / site failures of one design).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from ..exceptions import RecoveryError
+from ..scenarios.failures import FailureScenario
+from ..scenarios.requirements import BusinessRequirements
+from ..workload.spec import Workload
+from .cost import compute_costs
+from .dataloss import compute_data_loss
+from .demands import register_design_demands
+from .hierarchy import StorageDesign
+from .recovery import RecoveryPlan, plan_recovery
+from .results import Assessment
+from .utilization import SystemUtilization, compute_utilization
+from .validate import validate_design
+
+
+def _assess(
+    design: StorageDesign,
+    workload: Workload,
+    scenario: FailureScenario,
+    requirements: BusinessRequirements,
+    utilization: SystemUtilization,
+) -> Assessment:
+    """Steps 4–6 for one scenario, given the shared normal-mode state."""
+    loss = compute_data_loss(design, scenario, allow_total_loss=True)
+    plan: Optional[RecoveryPlan]
+    if loss.total_loss:
+        plan = None
+    else:
+        try:
+            plan = plan_recovery(design, scenario, workload, loss_result=loss)
+        except RecoveryError:
+            plan = None
+    costs = compute_costs(design, requirements, loss=loss, plan=plan)
+    return Assessment(
+        design_name=design.name,
+        scenario=scenario,
+        requirements=requirements,
+        utilization=utilization,
+        data_loss=loss,
+        recovery=plan,
+        costs=costs,
+    )
+
+
+def evaluate(
+    design: StorageDesign,
+    workload: Workload,
+    scenario: FailureScenario,
+    requirements: BusinessRequirements,
+    strict_utilization: bool = True,
+) -> Assessment:
+    """Evaluate one design against one failure scenario."""
+    validate_design(design, workload, strict=True)
+    register_design_demands(design, workload)
+    utilization = compute_utilization(design, strict=strict_utilization)
+    return _assess(design, workload, scenario, requirements, utilization)
+
+
+def evaluate_scenarios(
+    design: StorageDesign,
+    workload: Workload,
+    scenarios: Iterable[FailureScenario],
+    requirements: BusinessRequirements,
+    strict_utilization: bool = True,
+) -> "Dict[str, Assessment]":
+    """Evaluate one design against several scenarios.
+
+    Returns ``{scenario description: assessment}`` in input order.
+    Validation, demand registration and utilization run once.
+    """
+    validate_design(design, workload, strict=True)
+    register_design_demands(design, workload)
+    utilization = compute_utilization(design, strict=strict_utilization)
+    return {
+        scenario.describe(): _assess(
+            design, workload, scenario, requirements, utilization
+        )
+        for scenario in scenarios
+    }

@@ -1,0 +1,77 @@
+"""Result dataclasses: everything one evaluation produces.
+
+An :class:`Assessment` bundles the paper's four output metrics — system
+utilization, recovery time, recent data loss and overall cost — together
+with the detailed sub-results they were derived from, so reports and
+benchmarks can drill down without recomputing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..scenarios.failures import FailureScenario
+from ..scenarios.requirements import BusinessRequirements
+from ..units import format_duration, format_money, format_percent
+from .cost import CostBreakdown
+from .dataloss import DataLossResult
+from .recovery import RecoveryPlan
+from .utilization import SystemUtilization
+
+
+@dataclass(frozen=True)
+class Assessment:
+    """One design evaluated against one failure scenario."""
+
+    design_name: str
+    scenario: FailureScenario
+    requirements: BusinessRequirements
+    utilization: SystemUtilization
+    data_loss: DataLossResult
+    recovery: Optional[RecoveryPlan]
+    costs: CostBreakdown
+
+    # -- the paper's four output metrics --------------------------------------
+
+    @property
+    def system_utilization(self) -> float:
+        """Utilization of the maximally utilized storage component."""
+        return self.utilization.system_utilization
+
+    @property
+    def recovery_time(self) -> float:
+        """Worst-case seconds from failure to the application running."""
+        if self.recovery is None:
+            return float("inf")
+        return self.recovery.recovery_time
+
+    @property
+    def recent_data_loss(self) -> float:
+        """Worst-case seconds of recent updates lost."""
+        return self.data_loss.data_loss
+
+    @property
+    def total_cost(self) -> float:
+        """Annual outlays plus this scenario's penalties."""
+        return self.costs.total_cost
+
+    # -- objectives --------------------------------------------------------------
+
+    @property
+    def meets_objectives(self) -> bool:
+        """Whether the declared RTO/RPO (if any) are satisfied."""
+        return self.requirements.meets_objectives(
+            self.recovery_time, self.recent_data_loss
+        )
+
+    def summary(self) -> str:
+        """The Table 6 style one-liner for this scenario."""
+        return (
+            f"{self.design_name} / {self.scenario.describe()}: "
+            f"source={self.data_loss.source_name}, "
+            f"RT={format_duration(self.recovery_time)}, "
+            f"DL={format_duration(self.recent_data_loss)}, "
+            f"util={format_percent(self.system_utilization)}, "
+            f"cost={format_money(self.total_cost)}"
+        )

@@ -1,0 +1,115 @@
+"""Design-level validation of the paper's parameter conventions (§3.2.1).
+
+Technique-local constraints (positive windows, ``propW <= accW``) are
+enforced at construction; this module checks the *inter-level*
+conventions:
+
+1. lower (slower) levels retain at least as many RPs:
+   ``retCnt_{i+1} >= retCnt_i``;
+2. lower levels accumulate over at least a full cycle of the level
+   above: ``accW_{i+1} >= cyclePer_i``;
+3. a level's hold window should not exceed the next level's retention
+   window, or it forces extra retention capacity on the devices
+   providing the level (the vaulting extra-copy rule is the concrete
+   instance).
+
+Violations of 1–2 are structural errors; 3 is reported as a warning
+(the framework models its capacity consequence rather than forbidding
+it).  Workload-dependent checks are delegated to each technique's
+``validate``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..exceptions import DesignError
+from ..units import format_duration
+from ..workload.spec import Workload
+from .hierarchy import StorageDesign
+
+
+def _cycle_period(level) -> Optional[float]:
+    """A level's cycle period, or None for continuous techniques."""
+    try:
+        return level.technique.cycle().period
+    except Exception:
+        return None
+
+
+def _retention_count(level) -> Optional[int]:
+    try:
+        return level.technique.cycle().retention_count
+    except Exception:
+        return None
+
+
+def validate_design(
+    design: StorageDesign,
+    workload: Optional[Workload] = None,
+    strict: bool = True,
+) -> List[str]:
+    """Check the design's structure and conventions.
+
+    Returns the list of warnings; raises
+    :class:`~repro.exceptions.DesignError` on hard violations when
+    ``strict`` (the default).
+    """
+    warnings: "List[str]" = []
+    errors: "List[str]" = []
+    levels = design.levels
+    if not levels:
+        errors.append("design has no levels")
+    elif not levels[0].technique.is_primary:
+        errors.append("level 0 is not a primary copy")
+
+    for current in levels[1:]:
+        previous = design.parent_of(current)
+        if previous.index == 0:
+            continue  # conventions compare secondary levels to their feeders
+        prev_ret = _retention_count(previous)
+        curr_ret = _retention_count(current)
+        if prev_ret is not None and curr_ret is not None and curr_ret < prev_ret:
+            errors.append(
+                f"level {current.index} ({current.technique.name}) retains "
+                f"fewer cycles ({curr_ret}) than level {previous.index} "
+                f"({previous.technique.name}, {prev_ret}): slower levels must "
+                "retain at least as much (paper section 3.2.1)"
+            )
+        prev_period = _cycle_period(previous)
+        curr_period = _cycle_period(current)
+        if prev_period is not None and curr_period is not None:
+            if curr_period < prev_period:
+                errors.append(
+                    f"level {current.index} ({current.technique.name}) "
+                    f"accumulates over {format_duration(curr_period)}, shorter "
+                    f"than level {previous.index}'s cycle period "
+                    f"({format_duration(prev_period)}): accW_i+1 >= cyclePer_i "
+                    "(paper section 3.2.1)"
+                )
+        # Convention 3: holdW of the propagating level vs. its own
+        # source's retention (it must still be on the source when sent).
+        hold = getattr(current.technique, "hold_window", None)
+        if hold is not None and prev_ret is not None and prev_period is not None:
+            source_retention = prev_ret * prev_period
+            if hold > source_retention:
+                warnings.append(
+                    f"level {current.index} ({current.technique.name}) holds "
+                    f"RPs {format_duration(hold)} before shipping, longer than "
+                    f"level {previous.index}'s retention "
+                    f"({format_duration(source_retention)}): extra retention "
+                    "capacity is demanded from the source device"
+                )
+
+    if workload is not None:
+        for level in levels:
+            try:
+                level.technique.validate(workload)
+            except Exception as exc:  # surface per-technique problems together
+                errors.append(f"level {level.index}: {exc}")
+
+    if errors and strict:
+        raise DesignError(
+            f"design {design.name!r} is invalid:\n  - " + "\n  - ".join(errors)
+        )
+    return warnings + errors

@@ -1,0 +1,56 @@
+"""Design automation: what-if exploration and cost-driven optimization.
+
+The paper positions its models as "the inner-most loop of an automated
+optimization loop to choose the 'best' solution for a given set of
+business requirements" (its companion work, *Designing for Disasters*).
+This package builds that loop:
+
+* :mod:`repro.design.whatif` — evaluate a set of named designs across a
+  set of failure scenarios: the engine behind Table 7;
+* :mod:`repro.design.space` — enumerate candidate designs from
+  parameter grids (PiT flavor, backup policy, vault cadence, mirror
+  links);
+* :mod:`repro.design.optimizer` — pick the design minimizing worst-case
+  total cost subject to RTO/RPO feasibility;
+* :mod:`repro.design.sensitivity` — one-parameter sweeps for ablation
+  studies (how each knob moves the four output metrics).
+"""
+
+from .whatif import WhatIfResult, run_whatif
+from .space import DesignSpace, candidate_designs
+from .optimizer import OptimizationOutcome, RankedDesign, optimize
+from .sensitivity import SweepPoint, sweep_accumulation_window, sweep_link_count
+from .frequency import (
+    AvailabilitySummary,
+    ExpectedCost,
+    FailureFrequencies,
+    expected_annual_cost,
+    expected_availability,
+    optimize_expected,
+)
+from .analysis import TradeoffPoint, dominated_by, pareto_frontier
+from .headroom import max_supported_capacity, max_supported_scale
+
+__all__ = [
+    "WhatIfResult",
+    "run_whatif",
+    "DesignSpace",
+    "candidate_designs",
+    "OptimizationOutcome",
+    "RankedDesign",
+    "optimize",
+    "SweepPoint",
+    "sweep_accumulation_window",
+    "sweep_link_count",
+    "ExpectedCost",
+    "FailureFrequencies",
+    "expected_annual_cost",
+    "optimize_expected",
+    "AvailabilitySummary",
+    "expected_availability",
+    "TradeoffPoint",
+    "dominated_by",
+    "pareto_frontier",
+    "max_supported_capacity",
+    "max_supported_scale",
+]

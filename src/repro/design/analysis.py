@@ -1,0 +1,76 @@
+"""Trade-off analysis over evaluated designs.
+
+Two views on a set of :class:`~repro.design.whatif.WhatIfResult`:
+
+* :func:`pareto_frontier` — the designs not dominated on the three axes
+  a storage architect actually trades (worst-case recovery time,
+  worst-case recent data loss, annual outlays).  Everything off the
+  frontier is strictly worse than some frontier design on every axis;
+* :func:`dominated_by` — for a given design, which frontier designs
+  dominate it (the "what should I buy instead" answer).
+
+Domination uses the standard weak-Pareto definition: ``a`` dominates
+``b`` when ``a`` is no worse on every axis and strictly better on at
+least one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..exceptions import DesignError
+from .whatif import WhatIfResult
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One design's position in the (RT, DL, outlays) trade space."""
+
+    result: WhatIfResult
+
+    @property
+    def axes(self) -> "Tuple[float, float, float]":
+        """(worst recovery time, worst data loss, annual outlays)."""
+        return (
+            self.result.worst_recovery_time,
+            self.result.worst_data_loss,
+            self.result.total_outlays,
+        )
+
+    def dominates(self, other: "TradeoffPoint") -> bool:
+        """No worse everywhere, strictly better somewhere."""
+        mine, theirs = self.axes, other.axes
+        return all(a <= b for a, b in zip(mine, theirs)) and any(
+            a < b for a, b in zip(mine, theirs)
+        )
+
+
+def pareto_frontier(results: Sequence[WhatIfResult]) -> "List[WhatIfResult]":
+    """The non-dominated designs, in input order.
+
+    Ties (identical axes) all stay on the frontier.
+    """
+    if not results:
+        raise DesignError("pareto frontier needs at least one result")
+    points = [TradeoffPoint(result) for result in results]
+    frontier: "List[WhatIfResult]" = []
+    for candidate in points:
+        if not any(
+            other is not candidate and other.dominates(candidate)
+            for other in points
+        ):
+            frontier.append(candidate.result)
+    return frontier
+
+
+def dominated_by(
+    result: WhatIfResult, results: Sequence[WhatIfResult]
+) -> "List[WhatIfResult]":
+    """The designs that dominate the given one (empty if on the frontier)."""
+    mine = TradeoffPoint(result)
+    return [
+        other
+        for other in results
+        if other is not result and TradeoffPoint(other).dominates(mine)
+    ]

@@ -1,0 +1,206 @@
+"""Failure-frequency weighting (paper section 5).
+
+The base framework deliberately evaluates a *hypothesized* failure
+regardless of how often it happens.  The paper's conclusion notes that
+its automated-design outer loop "allows us to incorporate failure
+frequencies and prioritizations, thus permitting the concurrent
+consideration of multiple failures".  This module adds that weighting:
+
+* :class:`FailureFrequencies` — per-scenario annual event rates;
+* :func:`expected_annual_cost` — annual outlays plus the
+  frequency-weighted expected penalties over all scenarios;
+* :func:`optimize_expected` — rank candidate designs by expected annual
+  cost instead of single-scenario worst case.
+
+Typical rates (events/year): disk array ~0.1–1, site disaster ~0.001–
+0.01, operator error corrupting an object ~1–10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from ..core.hierarchy import StorageDesign
+from ..exceptions import DesignError, OptimizationError, ReproError
+from ..scenarios.failures import FailureScenario
+from ..scenarios.requirements import BusinessRequirements
+from ..workload.spec import Workload
+from .whatif import run_whatif
+
+
+@dataclass(frozen=True)
+class FailureFrequencies:
+    """Annual event rates per failure scenario (by list position)."""
+
+    scenarios: Tuple[FailureScenario, ...]
+    rates_per_year: Tuple[float, ...]
+
+    def __init__(
+        self,
+        entries: Sequence[Tuple[FailureScenario, float]],
+    ):
+        if not entries:
+            raise DesignError("at least one (scenario, rate) entry required")
+        scenarios = []
+        rates = []
+        for scenario, rate in entries:
+            if rate < 0:
+                raise DesignError(f"event rate must be >= 0, got {rate}")
+            scenarios.append(scenario)
+            rates.append(float(rate))
+        object.__setattr__(self, "scenarios", tuple(scenarios))
+        object.__setattr__(self, "rates_per_year", tuple(rates))
+
+    def __len__(self) -> int:
+        return len(self.scenarios)
+
+    def items(self) -> "List[Tuple[FailureScenario, float]]":
+        """(scenario, annual rate) pairs in declaration order."""
+        return list(zip(self.scenarios, self.rates_per_year))
+
+
+@dataclass(frozen=True)
+class ExpectedCost:
+    """Annualized expected cost decomposition for one design."""
+
+    design_name: str
+    annual_outlays: float
+    expected_annual_penalties: float
+    penalty_by_scenario: "Dict[str, float]"
+
+    @property
+    def expected_annual_cost(self) -> float:
+        """Annual outlays plus frequency-weighted expected penalties."""
+        return self.annual_outlays + self.expected_annual_penalties
+
+
+def expected_annual_cost(
+    design_factory: Callable[[], StorageDesign],
+    workload: Workload,
+    frequencies: FailureFrequencies,
+    requirements: BusinessRequirements,
+    design_name: str = None,
+) -> ExpectedCost:
+    """Annual outlays plus frequency-weighted expected penalties.
+
+    Each scenario's per-event penalty (outage + loss) is multiplied by
+    its annual rate; a scenario the design cannot survive (total loss)
+    contributes an infinite expected penalty unless its rate is zero.
+    """
+    name = design_name or design_factory().name
+    results = run_whatif(
+        {name: design_factory}, workload, list(frequencies.scenarios), requirements
+    )
+    result = results[0]
+    penalty_by_scenario: "Dict[str, float]" = {}
+    expected_penalties = 0.0
+    for (scenario, rate), (label, assessment) in zip(
+        frequencies.items(), result.assessments.items()
+    ):
+        per_event = assessment.costs.total_penalties
+        if per_event == float("inf") and rate == 0.0:
+            weighted = 0.0
+        else:
+            weighted = rate * per_event
+        penalty_by_scenario[label] = weighted
+        expected_penalties += weighted
+    return ExpectedCost(
+        design_name=name,
+        annual_outlays=result.total_outlays,
+        expected_annual_penalties=expected_penalties,
+        penalty_by_scenario=penalty_by_scenario,
+    )
+
+
+@dataclass(frozen=True)
+class AvailabilitySummary:
+    """Expected annual downtime and the resulting availability."""
+
+    design_name: str
+    expected_annual_downtime: float  # seconds per year
+    downtime_by_scenario: "Dict[str, float]"
+
+    YEAR_SECONDS = 365 * 86400.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of the year the data is expected to be accessible."""
+        return max(0.0, 1.0 - self.expected_annual_downtime / self.YEAR_SECONDS)
+
+    @property
+    def nines(self) -> float:
+        """The availability expressed as a count of nines (3.0 = 99.9%)."""
+        import math
+
+        unavailability = 1.0 - self.availability
+        if unavailability <= 0:
+            return float("inf")
+        return -math.log10(unavailability)
+
+
+def expected_availability(
+    design_factory: Callable[[], StorageDesign],
+    workload: Workload,
+    frequencies: FailureFrequencies,
+    requirements: BusinessRequirements,
+    design_name: str = None,
+) -> AvailabilitySummary:
+    """Frequency-weighted expected downtime and availability.
+
+    Each scenario contributes ``rate * recovery_time`` seconds of
+    expected annual downtime; unsurvivable scenarios with a nonzero rate
+    make the downtime unbounded.
+    """
+    name = design_name or design_factory().name
+    results = run_whatif(
+        {name: design_factory}, workload, list(frequencies.scenarios), requirements
+    )
+    result = results[0]
+    downtime_by_scenario: "Dict[str, float]" = {}
+    total = 0.0
+    for (scenario, rate), (label, assessment) in zip(
+        frequencies.items(), result.assessments.items()
+    ):
+        recovery_time = assessment.recovery_time
+        if recovery_time == float("inf") and rate == 0.0:
+            weighted = 0.0
+        else:
+            weighted = rate * recovery_time
+        downtime_by_scenario[label] = weighted
+        total += weighted
+    return AvailabilitySummary(
+        design_name=name,
+        expected_annual_downtime=total,
+        downtime_by_scenario=downtime_by_scenario,
+    )
+
+
+def optimize_expected(
+    candidates: "Mapping[str, Callable[[], StorageDesign]]",
+    workload: Workload,
+    frequencies: FailureFrequencies,
+    requirements: BusinessRequirements,
+) -> "List[ExpectedCost]":
+    """Rank candidates by expected annual cost, cheapest first.
+
+    Candidates that fail to evaluate are dropped; an empty result is an
+    :class:`~repro.exceptions.OptimizationError`.
+    """
+    ranked: "List[ExpectedCost]" = []
+    failures: "List[str]" = []
+    for name, factory in candidates.items():
+        try:
+            ranked.append(
+                expected_annual_cost(
+                    factory, workload, frequencies, requirements, design_name=name
+                )
+            )
+        except ReproError as exc:
+            failures.append(f"{name}: {exc}")
+    if not ranked:
+        raise OptimizationError(
+            "no candidate could be evaluated: " + "; ".join(failures)
+        )
+    ranked.sort(key=lambda entry: entry.expected_annual_cost)
+    return ranked

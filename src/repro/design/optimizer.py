@@ -1,0 +1,108 @@
+"""Cost-driven design selection under RTO/RPO constraints.
+
+The optimizer evaluates every candidate against every scenario and
+ranks by **worst-case total cost** (annual outlays plus the most
+expensive scenario's penalties).  Candidates violating a declared RTO
+or RPO under *any* scenario are infeasible; when nothing is feasible
+the outcome says so rather than guessing (callers may fall back to the
+cheapest infeasible candidate explicitly).
+
+Candidates that fail structural validation or over-commit their devices
+are skipped and reported, not silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.hierarchy import StorageDesign
+from ..exceptions import OptimizationError, ReproError
+from ..scenarios.failures import FailureScenario
+from ..scenarios.requirements import BusinessRequirements
+from ..workload.spec import Workload
+from .whatif import WhatIfResult, run_whatif
+
+
+@dataclass(frozen=True)
+class RankedDesign:
+    """One candidate's ranking entry."""
+
+    result: WhatIfResult
+    feasible: bool
+
+    @property
+    def name(self) -> str:
+        """The candidate design's display name."""
+        return self.result.design_name
+
+    @property
+    def objective(self) -> float:
+        """The ranking objective: worst-case total cost."""
+        return self.result.worst_total_cost
+
+
+@dataclass(frozen=True)
+class OptimizationOutcome:
+    """The optimizer's full output: winner, ranking, and skip reasons."""
+
+    best: Optional[RankedDesign]
+    ranking: Tuple[RankedDesign, ...]
+    skipped: "Dict[str, str]"
+
+    @property
+    def feasible_count(self) -> int:
+        """How many candidates satisfied the RTO/RPO everywhere."""
+        return sum(1 for entry in self.ranking if entry.feasible)
+
+    def summary(self) -> str:
+        """Human-readable outcome for logs and the CLI."""
+        lines = [
+            f"evaluated {len(self.ranking)} candidates "
+            f"({self.feasible_count} feasible, {len(self.skipped)} skipped)"
+        ]
+        if self.best is not None:
+            lines.append(
+                f"best: {self.best.name} at ${self.best.objective:,.0f} "
+                "worst-case total"
+            )
+        else:
+            lines.append("no feasible design meets the declared objectives")
+        return "\n".join(lines)
+
+
+def optimize(
+    candidates: "Mapping[str, Callable[[], StorageDesign]]",
+    workload: Workload,
+    scenarios: Sequence[FailureScenario],
+    requirements: BusinessRequirements,
+) -> OptimizationOutcome:
+    """Rank candidates by worst-case total cost; pick the best feasible.
+
+    Raises :class:`~repro.exceptions.OptimizationError` only when *no*
+    candidate could even be evaluated.
+    """
+    evaluated: "List[RankedDesign]" = []
+    skipped: "Dict[str, str]" = {}
+    for name, factory in candidates.items():
+        try:
+            results = run_whatif({name: factory}, workload, scenarios, requirements)
+        except ReproError as exc:
+            skipped[name] = str(exc)
+            continue
+        result = results[0]
+        evaluated.append(
+            RankedDesign(result=result, feasible=result.meets_objectives)
+        )
+    if not evaluated:
+        raise OptimizationError(
+            "no candidate design could be evaluated: "
+            + "; ".join(f"{k}: {v}" for k, v in skipped.items())
+        )
+    ranking = tuple(sorted(evaluated, key=lambda entry: entry.objective))
+    feasible = [entry for entry in ranking if entry.feasible]
+    return OptimizationOutcome(
+        best=feasible[0] if feasible else None,
+        ranking=ranking,
+        skipped=skipped,
+    )

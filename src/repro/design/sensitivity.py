@@ -1,0 +1,118 @@
+"""Single-parameter sensitivity sweeps (ablation studies).
+
+Each sweep varies one design knob while holding the rest of the
+baseline family fixed, recording the four output metrics at every
+point.  These back the ablation benches called out in DESIGN.md:
+
+* :func:`sweep_accumulation_window` — how the PiT/mirror batching
+  window trades recent data loss against device load and link demand;
+* :func:`sweep_link_count` — how WAN provisioning trades recovery time
+  against outlays (Table 7's 1-vs-10-link contrast, generalized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Union
+
+from .. import casestudy
+from ..core.evaluate import evaluate
+from ..core.hierarchy import StorageDesign
+from ..scenarios.failures import FailureScenario
+from ..scenarios.requirements import BusinessRequirements
+from ..units import parse_duration
+from ..workload.spec import Workload
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample: the knob value and the four output metrics."""
+
+    parameter: float
+    system_utilization: float
+    recovery_time: float
+    recent_data_loss: float
+    total_cost: float
+
+
+def _assess_point(
+    design: StorageDesign,
+    parameter: float,
+    workload: Workload,
+    scenario: FailureScenario,
+    requirements: BusinessRequirements,
+) -> SweepPoint:
+    assessment = evaluate(design, workload, scenario, requirements)
+    return SweepPoint(
+        parameter=parameter,
+        system_utilization=assessment.system_utilization,
+        recovery_time=assessment.recovery_time,
+        recent_data_loss=assessment.recent_data_loss,
+        total_cost=assessment.total_cost,
+    )
+
+
+def sweep_accumulation_window(
+    windows: Sequence[Union[str, float]],
+    workload: Workload,
+    scenario: FailureScenario,
+    requirements: BusinessRequirements,
+    design_factory: Callable[[Union[str, float]], StorageDesign] = None,
+) -> "List[SweepPoint]":
+    """Sweep a batched-async mirror's accumulation window.
+
+    The default family is the case study's single-link asyncB design
+    with the batch window replaced; pass ``design_factory`` to sweep a
+    different family (it receives the window and returns a design).
+    """
+    if design_factory is None:
+        def design_factory(window):
+            from ..devices.catalog import midrange_disk_array, oc3_links
+            from ..devices.spares import SpareConfig
+            from ..scenarios.locations import REMOTE_SITE
+            from ..techniques.mirroring import BatchedAsyncMirror
+            from ..techniques.primary import PrimaryCopy
+
+            design = StorageDesign(
+                f"asyncB accW={window}",
+                recovery_facility=casestudy.recovery_facility(),
+            )
+            design.add_level(
+                PrimaryCopy(), store=midrange_disk_array(spare=casestudy.hot_spare())
+            )
+            design.add_level(
+                BatchedAsyncMirror(accumulation_window=window),
+                store=midrange_disk_array(
+                    name="mirror-array",
+                    location=REMOTE_SITE,
+                    spare=SpareConfig.none(),
+                ),
+                transport=oc3_links(1),
+            )
+            return design
+
+    points: "List[SweepPoint]" = []
+    for window in windows:
+        design = design_factory(window)
+        points.append(
+            _assess_point(
+                design, parse_duration(window), workload, scenario, requirements
+            )
+        )
+    return points
+
+
+def sweep_link_count(
+    link_counts: Sequence[int],
+    workload: Workload,
+    scenario: FailureScenario,
+    requirements: BusinessRequirements,
+) -> "List[SweepPoint]":
+    """Sweep the WAN link provisioning of the asyncB mirror design."""
+    points: "List[SweepPoint]" = []
+    for count in link_counts:
+        design = casestudy.async_batch_mirror_design(count)
+        points.append(
+            _assess_point(design, float(count), workload, scenario, requirements)
+        )
+    return points

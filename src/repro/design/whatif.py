@@ -1,0 +1,82 @@
+"""What-if exploration: many designs x many failure scenarios.
+
+This is the engine behind the paper's Table 7: evaluate every candidate
+design against every scenario, collect the per-cell assessments, and
+expose convenient worst-case/aggregate views for ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+
+from ..core.evaluate import evaluate_scenarios
+from ..core.hierarchy import StorageDesign
+from ..core.results import Assessment
+from ..scenarios.failures import FailureScenario
+from ..scenarios.requirements import BusinessRequirements
+from ..workload.spec import Workload
+
+#: Designs are passed as factories so each evaluation gets fresh device
+#: instances (demand ledgers are stateful).
+DesignFactory = Callable[[], StorageDesign]
+
+
+@dataclass(frozen=True)
+class WhatIfResult:
+    """One design's assessments across all evaluated scenarios."""
+
+    design_name: str
+    assessments: "Dict[str, Assessment]"
+
+    @property
+    def total_outlays(self) -> float:
+        """Annual outlays (identical across scenarios of one design)."""
+        first = next(iter(self.assessments.values()))
+        return first.costs.total_outlays
+
+    @property
+    def worst_recovery_time(self) -> float:
+        """The slowest recovery across the evaluated scenarios."""
+        return max(a.recovery_time for a in self.assessments.values())
+
+    @property
+    def worst_data_loss(self) -> float:
+        """The largest recent data loss across the evaluated scenarios."""
+        return max(a.recent_data_loss for a in self.assessments.values())
+
+    @property
+    def worst_total_cost(self) -> float:
+        """The most expensive scenario's total cost — the ranking metric."""
+        return max(a.total_cost for a in self.assessments.values())
+
+    @property
+    def meets_objectives(self) -> bool:
+        """RTO/RPO satisfied under every evaluated scenario."""
+        return all(a.meets_objectives for a in self.assessments.values())
+
+    def scenario(self, label_fragment: str) -> Assessment:
+        """The assessment whose scenario label contains the fragment."""
+        for label, assessment in self.assessments.items():
+            if label_fragment in label:
+                return assessment
+        raise KeyError(label_fragment)
+
+
+def run_whatif(
+    designs: "Mapping[str, DesignFactory]",
+    workload: Workload,
+    scenarios: Sequence[FailureScenario],
+    requirements: BusinessRequirements,
+) -> "List[WhatIfResult]":
+    """Evaluate every design against every scenario (Table 7's grid).
+
+    ``designs`` maps display names to zero-argument factories.  Results
+    preserve input order.
+    """
+    results: "List[WhatIfResult]" = []
+    for name, factory in designs.items():
+        design = factory()
+        assessments = evaluate_scenarios(design, workload, scenarios, requirements)
+        results.append(WhatIfResult(design_name=name, assessments=assessments))
+    return results

@@ -1,0 +1,106 @@
+"""Device cost models (paper section 3.3.5, Table 4).
+
+Outlay costs have fixed, per-capacity and per-bandwidth components; for
+physical transport there is additionally a per-shipment component.  All
+components are **annualized** dollars (the paper amortizes hardware over
+a three-year depreciation and folds in facilities and service), so the
+framework's "overall cost" is an annual outlay plus the per-event
+penalties of the evaluated failure.
+
+The Table 4 coefficients are quoted per GB and per MB/s; this class
+stores them per byte and per byte/s, with constructors accepting the
+paper's units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import DeviceError
+from ..units import GB, MB
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Annualized outlay cost: fixed + c*capacity + b*bandwidth + s*shipments.
+
+    Parameters
+    ----------
+    fixed:
+        Dollars per year for the enclosure, service and facilities.
+    per_byte:
+        Dollars per year per byte of *used* capacity.
+    per_byte_per_sec:
+        Dollars per year per byte/s of *provisioned* bandwidth demand.
+    per_shipment:
+        Dollars per physical shipment (courier runs).
+    """
+
+    fixed: float = 0.0
+    per_byte: float = 0.0
+    per_byte_per_sec: float = 0.0
+    per_shipment: float = 0.0
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("fixed", self.fixed),
+            ("per_byte", self.per_byte),
+            ("per_byte_per_sec", self.per_byte_per_sec),
+            ("per_shipment", self.per_shipment),
+        ):
+            if value < 0:
+                raise DeviceError(f"cost component {label} must be >= 0, got {value}")
+
+    @classmethod
+    def from_paper_units(
+        cls,
+        fixed: float = 0.0,
+        per_gb: float = 0.0,
+        per_mb_per_sec: float = 0.0,
+        per_shipment: float = 0.0,
+    ) -> "CostModel":
+        """Construct from Table 4's units ($/GB and $/(MB/s), binary)."""
+        return cls(
+            fixed=fixed,
+            per_byte=per_gb / GB,
+            per_byte_per_sec=per_mb_per_sec / MB,
+            per_shipment=per_shipment,
+        )
+
+    # -- evaluation -------------------------------------------------------------
+
+    def capacity_cost(self, capacity_bytes: float) -> float:
+        """Annual cost of the given used capacity."""
+        return self.per_byte * max(0.0, capacity_bytes)
+
+    def bandwidth_cost(self, bandwidth_bps: float) -> float:
+        """Annual cost of the given provisioned bandwidth."""
+        return self.per_byte_per_sec * max(0.0, bandwidth_bps)
+
+    def shipment_cost(self, shipments_per_year: float) -> float:
+        """Annual cost of the given shipment frequency."""
+        return self.per_shipment * max(0.0, shipments_per_year)
+
+    def variable_cost(
+        self,
+        capacity_bytes: float = 0.0,
+        bandwidth_bps: float = 0.0,
+        shipments_per_year: float = 0.0,
+    ) -> float:
+        """All non-fixed components for the given usage."""
+        return (
+            self.capacity_cost(capacity_bytes)
+            + self.bandwidth_cost(bandwidth_bps)
+            + self.shipment_cost(shipments_per_year)
+        )
+
+    def total_cost(
+        self,
+        capacity_bytes: float = 0.0,
+        bandwidth_bps: float = 0.0,
+        shipments_per_year: float = 0.0,
+    ) -> float:
+        """Fixed plus variable components for the given usage."""
+        return self.fixed + self.variable_cost(
+            capacity_bytes, bandwidth_bps, shipments_per_year
+        )

@@ -1,0 +1,94 @@
+"""Spare resource configuration (paper section 3.2.2).
+
+Each device may have a spare that replaces it on failure.  A *dedicated*
+hot spare provisions quickly (the case study uses 60 seconds) and costs
+the full resource price (discount factor 1.0); a *shared* spare — e.g. a
+slice of a remote hosting facility — takes longer to provision (9 hours
+in the case study: draining and scrubbing other workloads) but costs
+only a fraction (0.2x).  ``NONE`` means the device is not spared; a
+failure scope that destroys it forces recovery onto other levels and
+replacement is out of scope for the recovery-time model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+from ..exceptions import DeviceError
+from ..units import parse_duration
+
+
+class SpareType(enum.Enum):
+    """How (and whether) a device is spared."""
+
+    DEDICATED = "dedicated"
+    SHARED = "shared"
+    NONE = "none"
+
+
+@dataclass(frozen=True)
+class SpareConfig:
+    """A device's spare: type, provisioning time and cost discount.
+
+    Parameters
+    ----------
+    spare_type:
+        :class:`SpareType` of the spare resource.
+    provisioning_time:
+        Seconds (or a duration string) from failure until the spare can
+        accept data (``spareTime``).  Contributes the parallelizable
+        fixed period of the recovery-time model.
+    discount:
+        Fraction of the original resource's outlay charged for keeping
+        the spare (``spareDisc``): 1.0 for a dedicated duplicate, less
+        for shared capacity.
+    """
+
+    spare_type: SpareType
+    provisioning_time: float = 0.0
+    discount: float = 0.0
+
+    def __init__(
+        self,
+        spare_type: SpareType,
+        provisioning_time: Union[str, float] = 0.0,
+        discount: float = 0.0,
+    ):
+        if not isinstance(spare_type, SpareType):
+            raise DeviceError(f"spare_type must be a SpareType, got {spare_type!r}")
+        time_s = parse_duration(provisioning_time)
+        if time_s < 0:
+            raise DeviceError(f"provisioning time must be >= 0, got {provisioning_time!r}")
+        if discount < 0:
+            raise DeviceError(f"spare discount must be >= 0, got {discount}")
+        if spare_type is SpareType.NONE and (time_s != 0 or discount != 0):
+            raise DeviceError("a NONE spare has no provisioning time or cost")
+        object.__setattr__(self, "spare_type", spare_type)
+        object.__setattr__(self, "provisioning_time", time_s)
+        object.__setattr__(self, "discount", discount)
+
+    @classmethod
+    def dedicated(
+        cls, provisioning_time: Union[str, float] = "60 s", discount: float = 1.0
+    ) -> "SpareConfig":
+        """A dedicated hot spare (case-study default: 60 s, full price)."""
+        return cls(SpareType.DEDICATED, provisioning_time, discount)
+
+    @classmethod
+    def shared(
+        cls, provisioning_time: Union[str, float] = "9 hr", discount: float = 0.2
+    ) -> "SpareConfig":
+        """A shared recovery-facility spare (case-study default: 9 h, 0.2x)."""
+        return cls(SpareType.SHARED, provisioning_time, discount)
+
+    @classmethod
+    def none(cls) -> "SpareConfig":
+        """No spare."""
+        return cls(SpareType.NONE)
+
+    @property
+    def exists(self) -> bool:
+        """True when any spare resource is configured."""
+        return self.spare_type is not SpareType.NONE

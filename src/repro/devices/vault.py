@@ -1,0 +1,51 @@
+"""Off-site vault device model.
+
+A vault is pure archival capacity — shelf space for tape cartridges (the
+case-study vault holds up to 5000 LTO cartridges).  It has no bandwidth
+envelope of its own (Table 4 marks the vault's bandwidth "n/a"; Table 5
+reports 0.0% bandwidth utilization): data leaves the vault by physically
+shipping cartridges, which is the job of a
+:class:`~repro.devices.interconnect.Shipment` interconnect.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..exceptions import DeviceError
+from ..scenarios.locations import Location, REMOTE_SITE
+from ..units import parse_duration, parse_size
+from .base import Device
+from .costs import CostModel
+from .spares import SpareConfig
+
+
+class Vault(Device):
+    """An off-site archival vault: capacity slots only."""
+
+    def __init__(
+        self,
+        name: str,
+        max_cartridges: int,
+        cartridge_capacity: Union[str, float],
+        cost_model: Optional[CostModel] = None,
+        spare: Optional[SpareConfig] = None,
+        location: Location = REMOTE_SITE,
+        access_delay: Union[str, float] = 0.0,
+    ):
+        if max_cartridges <= 0:
+            raise DeviceError(f"vault {name!r} cartridge count must be positive")
+        cart_cap = parse_size(cartridge_capacity)
+        if cart_cap <= 0:
+            raise DeviceError(f"vault {name!r} cartridge capacity must be positive")
+        super().__init__(
+            name=name,
+            max_capacity=max_cartridges * cart_cap,
+            max_bandwidth=float("inf"),
+            cost_model=cost_model,
+            spare=spare,
+            location=location,
+            access_delay=parse_duration(access_delay),
+        )
+        self.max_cartridges = int(max_cartridges)
+        self.cartridge_capacity = cart_cap

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the dependability modeling framework.
+
+Every error raised intentionally by this package derives from
+:class:`ReproError`, so callers can catch framework errors without
+accidentally swallowing programming mistakes (``TypeError`` etc.).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class UnitError(ReproError, ValueError):
+    """A quantity string or value could not be parsed or is out of range."""
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload description is inconsistent or incomplete.
+
+    Examples: a negative update rate, an access rate smaller than the
+    update rate, or a batch-update curve with no sample points.
+    """
+
+
+class DeviceError(ReproError, ValueError):
+    """A device specification or demand registration is invalid."""
+
+
+class CapacityExceededError(DeviceError):
+    """The capacity demands registered on a device exceed its maximum.
+
+    Raised by the global utilization check (paper section 3.3.1: the
+    framework "generates an error if capUtil > 1").
+    """
+
+    def __init__(self, device_name: str, utilization: float):
+        self.device_name = device_name
+        self.utilization = utilization
+        super().__init__(
+            f"capacity utilization of device {device_name!r} is "
+            f"{utilization:.1%}, which exceeds 100%"
+        )
+
+
+class BandwidthExceededError(DeviceError):
+    """The bandwidth demands registered on a device exceed its maximum.
+
+    Raised by the global utilization check (paper section 3.3.1: the
+    framework "generates an error if bwUtil > 1").
+    """
+
+    def __init__(self, device_name: str, utilization: float):
+        self.device_name = device_name
+        self.utilization = utilization
+        super().__init__(
+            f"bandwidth utilization of device {device_name!r} is "
+            f"{utilization:.1%}, which exceeds 100%"
+        )
+
+
+class PolicyError(ReproError, ValueError):
+    """A data protection technique's policy parameters are invalid.
+
+    This covers both locally invalid values (e.g. a zero accumulation
+    window) and violations of the inter-level conventions of paper
+    section 3.2.1 (e.g. ``propW > accW``).
+    """
+
+
+class DesignError(ReproError, ValueError):
+    """A storage system design is structurally invalid.
+
+    Examples: a hierarchy whose level 0 is not a primary copy, a recovery
+    path that does not start at a retained level, or a level bound to a
+    device that was never declared.
+    """
+
+
+class RecoveryError(ReproError, RuntimeError):
+    """A recovery plan cannot be constructed for the imposed failure.
+
+    Raised when no surviving level retains a retrieval point usable for
+    the requested recovery target, i.e. the data is irrecoverably lost.
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event simulator reached an inconsistent state."""
+
+
+class OptimizationError(ReproError, RuntimeError):
+    """The design optimizer could not produce a feasible design."""

@@ -1,0 +1,458 @@
+"""Multi-object evaluation: several protected objects on shared hardware.
+
+The paper models a single data object for clarity and notes (§3.1.1)
+that the extension to multiple objects is "straightforward": explicitly
+track each object's workload demands, the techniques and devices
+protecting it, and **inter-object dependencies during recovery**.  This
+module is that extension.
+
+A :class:`Portfolio` holds named :class:`ProtectedObject` entries, each
+pairing a workload with its own design; designs may share device
+instances (two databases on one array, one tape library for everything).
+Evaluation then:
+
+* registers every object's demands on the (shared) devices *jointly*,
+  so utilization reflects the union of protection workloads;
+* computes each object's worst-case data loss independently (RPs are
+  per-object);
+* schedules recoveries respecting the declared dependencies — an
+  application object whose database must be restored first starts its
+  recovery only when the database finishes — and reports both
+  per-object and portfolio-wide recovery times;
+* prices outlays once (shared devices are not double-charged) and
+  penalties per object.
+
+Recovery concurrency is modeled optimistically within a dependency
+level (independent objects restore in parallel, each at its own
+available bandwidth) — the conservative serialized alternative is a
+single flag away (``serialize_recoveries=True``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .core.dataloss import DataLossResult, compute_data_loss
+from .core.demands import register_design_demands
+from .core.hierarchy import StorageDesign
+from .core.recovery import RecoveryPlan, plan_recovery
+from .core.utilization import SystemUtilization
+from .core.validate import validate_design
+from .devices.base import Device, DeviceUtilization
+from .exceptions import DesignError, RecoveryError
+from .scenarios.failures import FailureScenario
+from .scenarios.requirements import BusinessRequirements
+from .units import format_duration, format_money
+from .workload.spec import Workload
+
+
+@dataclass(frozen=True)
+class ProtectedObject:
+    """One data object: its workload, its design, and what it waits for."""
+
+    name: str
+    workload: Workload
+    design: StorageDesign
+    depends_on: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DesignError("protected object requires a name")
+        if self.name in self.depends_on:
+            raise DesignError(f"object {self.name!r} cannot depend on itself")
+
+
+@dataclass(frozen=True)
+class ObjectOutcome:
+    """One object's result under the evaluated scenario."""
+
+    name: str
+    data_loss: DataLossResult
+    plan: Optional[RecoveryPlan]
+    recovery_start: float
+    recovery_finish: float
+
+    @property
+    def own_recovery_time(self) -> float:
+        """The object's recovery duration, dependencies excluded."""
+        if self.plan is None:
+            return float("inf")
+        return self.plan.recovery_time
+
+    @property
+    def unavailability(self) -> float:
+        """Outage as experienced: from failure until this object is back."""
+        return self.recovery_finish
+
+
+@dataclass(frozen=True)
+class PortfolioAssessment:
+    """The whole portfolio under one failure scenario."""
+
+    portfolio_name: str
+    scenario: FailureScenario
+    utilization: SystemUtilization
+    outcomes: "Dict[str, ObjectOutcome]"
+    outlays_by_technique: "Dict[str, float]"
+    outage_penalty: float
+    loss_penalty: float
+
+    @property
+    def portfolio_recovery_time(self) -> float:
+        """When the last object is back: the business-level RT."""
+        return max(o.recovery_finish for o in self.outcomes.values())
+
+    @property
+    def total_outlays(self) -> float:
+        """Annualized outlays over the shared device set (no double count)."""
+        return sum(self.outlays_by_technique.values())
+
+    @property
+    def total_cost(self) -> float:
+        """Outlays plus every object's outage and loss penalties."""
+        return self.total_outlays + self.outage_penalty + self.loss_penalty
+
+    def summary(self) -> str:
+        """One-line portfolio outcome for logs and examples."""
+        worst = max(
+            self.outcomes.values(), key=lambda o: o.recovery_finish
+        )
+        return (
+            f"{self.portfolio_name} / {self.scenario.describe()}: portfolio "
+            f"RT={format_duration(self.portfolio_recovery_time)} (last: "
+            f"{worst.name}), cost={format_money(self.total_cost)}"
+        )
+
+
+class Portfolio:
+    """Named protected objects whose designs may share devices."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise DesignError("portfolio requires a name")
+        self.name = name
+        self._objects: "Dict[str, ProtectedObject]" = {}
+
+    def add_object(
+        self,
+        name: str,
+        workload: Workload,
+        design: StorageDesign,
+        depends_on: Sequence[str] = (),
+    ) -> ProtectedObject:
+        """Register an object; dependencies must already be present."""
+        if name in self._objects:
+            raise DesignError(f"duplicate object name {name!r}")
+        for dependency in depends_on:
+            if dependency not in self._objects:
+                raise DesignError(
+                    f"object {name!r} depends on unknown object {dependency!r} "
+                    "(add dependencies first)"
+                )
+        obj = ProtectedObject(
+            name=name,
+            workload=workload,
+            design=design,
+            depends_on=tuple(depends_on),
+        )
+        self._objects[name] = obj
+        return obj
+
+    @property
+    def objects(self) -> "Tuple[ProtectedObject, ...]":
+        """All protected objects, in insertion (topological) order."""
+        return tuple(self._objects.values())
+
+    def devices(self) -> "Tuple[Device, ...]":
+        """Unique devices across all designs, in first-use order."""
+        seen: "Dict[int, Device]" = {}
+        for obj in self._objects.values():
+            for device in obj.design.devices():
+                seen.setdefault(id(device), device)
+        return tuple(seen.values())
+
+    # -- joint demand registration -------------------------------------------------
+
+    def register_demands(self) -> None:
+        """Register every object's demands jointly on shared devices."""
+        if not self._objects:
+            raise DesignError(f"portfolio {self.name!r} has no objects")
+        for device in self.devices():
+            device.clear_demands()
+        for obj in self._objects.values():
+            register_design_demands(obj.design, obj.workload, clear=False)
+
+    def utilization(self) -> SystemUtilization:
+        """Joint utilization across the shared device set."""
+        reports: "List[DeviceUtilization]" = [
+            device.utilization() for device in self.devices()
+        ]
+        max_cap, max_cap_dev = 0.0, None
+        max_bw, max_bw_dev = 0.0, None
+        for report in reports:
+            if report.capacity_utilization > max_cap:
+                max_cap, max_cap_dev = report.capacity_utilization, report.device_name
+            if report.bandwidth_utilization > max_bw:
+                max_bw, max_bw_dev = report.bandwidth_utilization, report.device_name
+        return SystemUtilization(
+            devices=tuple(reports),
+            max_capacity_utilization=max_cap,
+            max_capacity_device=max_cap_dev,
+            max_bandwidth_utilization=max_bw,
+            max_bandwidth_device=max_bw_dev,
+        )
+
+    # -- recovery scheduling ----------------------------------------------------------
+
+    def _topological_order(self) -> "List[ProtectedObject]":
+        """Objects ordered so dependencies precede dependents.
+
+        Insertion order already guarantees acyclicity (dependencies must
+        exist when an object is added), so insertion order *is* a valid
+        topological order.
+        """
+        return list(self._objects.values())
+
+    def evaluate(
+        self,
+        scenario: FailureScenario,
+        requirements: BusinessRequirements,
+        strict_utilization: bool = True,
+        serialize_recoveries: bool = False,
+    ) -> PortfolioAssessment:
+        """Assess the whole portfolio under one failure scenario.
+
+        ``serialize_recoveries=True`` restores objects strictly one at a
+        time (a single recovery crew / shared restore pipe); the default
+        lets independent objects restore in parallel.
+        """
+        for obj in self._objects.values():
+            validate_design(obj.design, obj.workload, strict=True)
+        self.register_demands()
+        utilization = self.utilization()
+        if strict_utilization:
+            utilization.raise_if_overcommitted()
+
+        outcomes: "Dict[str, ObjectOutcome]" = {}
+        outage_penalty = 0.0
+        loss_penalty = 0.0
+        serial_clock = 0.0
+        for obj in self._topological_order():
+            loss = compute_data_loss(obj.design, scenario, allow_total_loss=True)
+            plan: Optional[RecoveryPlan] = None
+            if not loss.total_loss:
+                try:
+                    plan = plan_recovery(
+                        obj.design, scenario, obj.workload, loss_result=loss
+                    )
+                except RecoveryError:
+                    plan = None
+            dependency_finish = max(
+                (outcomes[d].recovery_finish for d in obj.depends_on),
+                default=0.0,
+            )
+            start = max(dependency_finish, serial_clock)
+            duration = plan.recovery_time if plan is not None else float("inf")
+            finish = start + duration
+            if serialize_recoveries:
+                serial_clock = finish
+            outcomes[obj.name] = ObjectOutcome(
+                name=obj.name,
+                data_loss=loss,
+                plan=plan,
+                recovery_start=start,
+                recovery_finish=finish,
+            )
+            outage_penalty += requirements.outage_penalty(finish)
+            loss_penalty += (
+                float("inf")
+                if loss.total_loss
+                else requirements.loss_penalty(loss.data_loss)
+            )
+
+        return PortfolioAssessment(
+            portfolio_name=self.name,
+            scenario=scenario,
+            utilization=utilization,
+            outcomes=outcomes,
+            outlays_by_technique=self._outlays(),
+            outage_penalty=outage_penalty,
+            loss_penalty=loss_penalty,
+        )
+
+    def evaluate_contended(
+        self,
+        scenario: FailureScenario,
+        requirements: BusinessRequirements,
+        background_load: float = 1.0,
+        strict_utilization: bool = True,
+    ) -> PortfolioAssessment:
+        """Assess the portfolio with recoveries contending for bandwidth.
+
+        The plain :meth:`evaluate` lets independent objects restore in
+        parallel at full rate — optimistic when they share devices.
+        This variant replays every object's recovery transfers through
+        the event-level :class:`~repro.simulation.RecoverySimulator`:
+        objects at the same dependency depth contend for their shared
+        devices (processor sharing); deeper objects start when their
+        dependencies finish.  ``background_load`` scales how much of the
+        normal-mode RP propagation demand stays active during recovery.
+        """
+        from .simulation.recovery_sim import RecoverySimulator, TransferSpec
+
+        for obj in self._objects.values():
+            validate_design(obj.design, obj.workload, strict=True)
+        self.register_demands()
+        utilization = self.utilization()
+        if strict_utilization:
+            utilization.raise_if_overcommitted()
+
+        # Device envelopes and background demands for the simulator; the
+        # source-read efficiency folds into each transfer's nominal rate.
+        bandwidths: "Dict[str, float]" = {}
+        demands: "Dict[str, float]" = {}
+        for device in self.devices():
+            if device.max_bandwidth != float("inf"):
+                bandwidths[device.name] = device.max_bandwidth
+                demands[device.name] = device.bandwidth_demand()
+
+        # Layer objects by dependency depth.
+        depth: "Dict[str, int]" = {}
+        for obj in self._topological_order():
+            depth[obj.name] = (
+                max((depth[d] for d in obj.depends_on), default=-1) + 1
+            )
+        max_depth = max(depth.values(), default=0)
+
+        simulator = RecoverySimulator(
+            bandwidths, demands, background_load=background_load
+        )
+        outcomes: "Dict[str, ObjectOutcome]" = {}
+        outage_penalty = 0.0
+        loss_penalty = 0.0
+        finish_times: "Dict[str, float]" = {}
+        for layer in range(max_depth + 1):
+            layer_specs: "List[TransferSpec]" = []
+            layer_meta: "Dict[str, Tuple[DataLossResult, Optional[RecoveryPlan], float]]" = {}
+            for obj in self._topological_order():
+                if depth[obj.name] != layer:
+                    continue
+                loss = compute_data_loss(obj.design, scenario, allow_total_loss=True)
+                plan: Optional[RecoveryPlan] = None
+                if not loss.total_loss:
+                    try:
+                        plan = plan_recovery(
+                            obj.design, scenario, obj.workload, loss_result=loss
+                        )
+                    except RecoveryError:
+                        plan = None
+                offset = max(
+                    (finish_times[d] for d in obj.depends_on), default=0.0
+                )
+                layer_meta[obj.name] = (loss, plan, offset)
+                if plan is None:
+                    continue
+                for step in plan.steps:
+                    if step.kind != "transfer" or step.duration <= 0:
+                        continue
+                    # The plan's own rate already folds in the source's
+                    # read efficiency and background demands; it is the
+                    # transfer's solo (uncontended) speed.  Contention
+                    # on shared devices can only slow it further.
+                    solo_rate = plan.recovery_size / step.duration
+                    layer_specs.append(
+                        TransferSpec(
+                            label=f"{obj.name}:{step.label}",
+                            ready_at=offset + step.start,
+                            size=plan.recovery_size,
+                            nominal_rate=solo_rate,
+                            devices=tuple(
+                                d for d in step.devices if d in bandwidths
+                            ),
+                        )
+                    )
+            simulated = (
+                {r.plan_label: r for r in simulator.simulate(layer_specs)}
+                if layer_specs
+                else {}
+            )
+            for name, (loss, plan, offset) in layer_meta.items():
+                if plan is None:
+                    finish = float("inf")
+                elif name in simulated:
+                    finish = simulated[name].finish_time
+                else:
+                    finish = offset + plan.recovery_time
+                finish_times[name] = finish
+                outcomes[name] = ObjectOutcome(
+                    name=name,
+                    data_loss=loss,
+                    plan=plan,
+                    recovery_start=offset,
+                    recovery_finish=finish,
+                )
+                outage_penalty += requirements.outage_penalty(finish)
+                loss_penalty += (
+                    float("inf")
+                    if loss.total_loss
+                    else requirements.loss_penalty(loss.data_loss)
+                )
+
+        return PortfolioAssessment(
+            portfolio_name=self.name,
+            scenario=scenario,
+            utilization=utilization,
+            outcomes=outcomes,
+            outlays_by_technique=self._outlays(),
+            outage_penalty=outage_penalty,
+            loss_penalty=loss_penalty,
+        )
+
+    # -- outlays ---------------------------------------------------------------------
+
+    def _outlays(self) -> "Dict[str, float]":
+        """Joint outlays over the shared device set (demands registered).
+
+        Devices keep their joint ledgers from :meth:`register_demands`,
+        so per-technique attribution already reflects every object's
+        demands; iterating designs would double-count shared devices.
+        """
+        outlays: "Dict[str, float]" = {}
+        seen_devices: "Dict[int, Device]" = {}
+        for obj in self._objects.values():
+            for device in obj.design.devices():
+                seen_devices.setdefault(id(device), device)
+        for device in seen_devices.values():
+            for technique, dollars in device.outlays_by_technique().items():
+                outlays[technique] = outlays.get(technique, 0.0) + dollars
+        # The recovery facility charges its discount fraction of the
+        # primary-site hardware it stands behind, exactly once per
+        # protected site (several objects on one site share one standby).
+        facility_total = 0.0
+        sites_seen = set()
+        for obj in self._objects.values():
+            facility = obj.design.recovery_facility
+            if facility is None or not facility.exists:
+                continue
+            primary_site = obj.design.primary_level.store.location
+            site_key = (primary_site.region, primary_site.site)
+            if site_key in sites_seen:
+                continue
+            sites_seen.add(site_key)
+            covered = [
+                device
+                for device in self.devices()
+                if not device.is_interconnect
+                and device.location.same_site(primary_site)
+            ]
+            facility_total += facility.discount * sum(
+                device.cost_model.total_cost(
+                    capacity_bytes=device.capacity_demand_raw(),
+                    bandwidth_bps=device.bandwidth_demand(),
+                )
+                for device in covered
+            )
+        if facility_total > 0:
+            outlays["recovery facility"] = facility_total
+        return outlays

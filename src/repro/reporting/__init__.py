@@ -1,0 +1,28 @@
+"""Report rendering: ASCII tables and full assessment reports.
+
+* :mod:`repro.reporting.tables` — a small, dependency-free table
+  renderer used by the benchmarks to print the paper's tables;
+* :mod:`repro.reporting.report` — composed reports: the Table 5
+  utilization table, the Table 6 dependability table, the Figure 5 cost
+  breakdown and the Table 7 what-if comparison, each built from
+  framework results.
+"""
+
+from .tables import Table
+from .charts import bar_chart, stacked_bar_chart
+from .report import (
+    cost_breakdown_report,
+    dependability_report,
+    utilization_report,
+    whatif_report,
+)
+
+__all__ = [
+    "Table",
+    "bar_chart",
+    "stacked_bar_chart",
+    "utilization_report",
+    "dependability_report",
+    "cost_breakdown_report",
+    "whatif_report",
+]

@@ -1,0 +1,96 @@
+"""ASCII horizontal bar charts.
+
+Figure 5 of the paper is a stacked-bar cost chart; these helpers render
+comparable charts in plain text so benchmarks and the CLI can show the
+same shape the paper draws, without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Optional, Sequence, Tuple
+
+DEFAULT_WIDTH = 48
+
+
+def bar_chart(
+    values: "Mapping[str, float]",
+    title: Optional[str] = None,
+    width: int = DEFAULT_WIDTH,
+    formatter: Callable[[float], str] = lambda v: f"{v:,.0f}",
+) -> str:
+    """One bar per entry, scaled to the largest value.
+
+    Infinite values render as a full-width bar tagged ``unbounded``.
+    """
+    if not values:
+        raise ValueError("bar chart needs at least one value")
+    if width < 1:
+        raise ValueError("width must be positive")
+    finite = [v for v in values.values() if v != float("inf")]
+    scale = max(finite) if finite else 1.0
+    if scale <= 0:
+        scale = 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in values.items():
+        if value == float("inf"):
+            bar = "#" * width
+            rendered = "unbounded"
+        else:
+            length = int(round(value / scale * width))
+            if value > 0:
+                length = max(length, 1)
+            bar = "#" * length
+            rendered = formatter(value)
+        lines.append(f"  {label:<{label_width}} |{bar:<{width}}| {rendered}")
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(
+    rows: "Mapping[str, Mapping[str, float]]",
+    segment_order: Sequence[str],
+    title: Optional[str] = None,
+    width: int = DEFAULT_WIDTH,
+    formatter: Callable[[float], str] = lambda v: f"{v:,.0f}",
+) -> str:
+    """One stacked bar per row (Figure 5's shape).
+
+    ``rows`` maps row label to ``{segment: value}``; every bar is scaled
+    against the largest row total and each segment is drawn with its own
+    glyph (cycling ``# = + o x``), with a legend mapping glyphs to
+    segment names.
+    """
+    if not rows:
+        raise ValueError("stacked bar chart needs at least one row")
+    glyphs = "#=+ox*%@"
+    glyph_of = {
+        segment: glyphs[i % len(glyphs)] for i, segment in enumerate(segment_order)
+    }
+    totals = {
+        label: sum(v for v in segments.values() if v != float("inf"))
+        for label, segments in rows.items()
+    }
+    scale = max(totals.values()) or 1.0
+    label_width = max(len(label) for label in rows)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, segments in rows.items():
+        bar = ""
+        for segment in segment_order:
+            value = segments.get(segment, 0.0)
+            if value == float("inf") or value <= 0:
+                continue
+            length = max(1, int(round(value / scale * width)))
+            bar += glyph_of[segment] * length
+        bar = bar[:width]
+        lines.append(
+            f"  {label:<{label_width}} |{bar:<{width}}| {formatter(totals[label])}"
+        )
+    legend = "  legend: " + "  ".join(
+        f"{glyph_of[s]}={s}" for s in segment_order
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Composed reports mirroring the paper's tables and figures.
+
+Each function takes framework results and returns a rendered string:
+
+* :func:`utilization_report` — Table 5: per-device, per-technique
+  bandwidth and capacity utilization;
+* :func:`dependability_report` — Table 6: recovery source, worst-case
+  recovery time and recent data loss per failure scenario;
+* :func:`cost_breakdown_report` — Figure 5: outlays by technique plus
+  penalties per failure scenario;
+* :func:`whatif_report` — Table 7: outlays, RT, DL, penalties and total
+  cost for several designs across scenarios.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence
+
+from ..core.results import Assessment
+from ..core.utilization import SystemUtilization
+from ..units import (
+    HOUR,
+    format_duration,
+    format_money,
+    format_percent,
+    format_rate,
+    format_size,
+)
+from .tables import Table
+
+
+def utilization_report(utilization: SystemUtilization, title: str = "Normal mode utilization") -> str:
+    """Per-device, per-technique utilization (the paper's Table 5)."""
+    table = Table(
+        headers=["device / technique", "bandwidth", "bw util", "capacity", "cap util"],
+        title=title,
+    )
+    for device in utilization.devices:
+        table.add_row(
+            device.device_name,
+            format_rate(device.bandwidth_demand),
+            format_percent(device.bandwidth_utilization),
+            format_size(device.capacity_demand_logical),
+            format_percent(device.capacity_utilization),
+        )
+        for tech in device.by_technique:
+            table.add_row(
+                f"  {tech.technique}",
+                format_rate(tech.bandwidth),
+                format_percent(tech.bandwidth_utilization),
+                format_size(tech.capacity),
+                format_percent(tech.capacity_utilization),
+            )
+    footer = (
+        f"system: bw {format_percent(utilization.max_bandwidth_utilization)} "
+        f"({utilization.max_bandwidth_device}), cap "
+        f"{format_percent(utilization.max_capacity_utilization)} "
+        f"({utilization.max_capacity_device})"
+    )
+    return table.render() + "\n" + footer
+
+
+def dependability_report(
+    assessments: "Mapping[str, Assessment]",
+    title: str = "Worst-case recovery time and recent data loss",
+) -> str:
+    """Recovery source / RT / DL per scenario (the paper's Table 6)."""
+    table = Table(
+        headers=["failure scope", "recovery source", "recovery time", "data loss"],
+        title=title,
+    )
+    for label, assessment in assessments.items():
+        loss = assessment.recent_data_loss
+        table.add_row(
+            label,
+            assessment.data_loss.source_name,
+            format_duration(assessment.recovery_time),
+            "total loss" if assessment.data_loss.total_loss else format_duration(loss),
+        )
+    return table.render()
+
+
+def cost_breakdown_report(
+    assessments: "Mapping[str, Assessment]",
+    title: str = "Overall system cost",
+) -> str:
+    """Outlays by technique + penalties per scenario (Figure 5)."""
+    techniques: "Dict[str, None]" = {}
+    for assessment in assessments.values():
+        for name in assessment.costs.outlays_by_technique:
+            techniques.setdefault(name)
+    headers = ["cost component"] + list(assessments.keys())
+    table = Table(headers=headers, title=title)
+    for technique in techniques:
+        row = [f"outlay: {technique}"]
+        for assessment in assessments.values():
+            row.append(
+                format_money(assessment.costs.outlays_by_technique.get(technique, 0.0))
+            )
+        table.add_row(*row)
+    for label, getter in (
+        ("penalty: data outage", lambda a: a.costs.outage_penalty),
+        ("penalty: recent data loss", lambda a: a.costs.loss_penalty),
+        ("total", lambda a: a.costs.total_cost),
+    ):
+        row = [label]
+        for assessment in assessments.values():
+            row.append(format_money(getter(assessment)))
+        table.add_row(*row)
+    return table.render()
+
+
+def whatif_report(
+    results: "Mapping[str, Mapping[str, Assessment]]",
+    scenario_labels: Sequence[str],
+    title: str = "What-if scenarios",
+) -> str:
+    """The Table 7 grid: designs x scenarios.
+
+    ``results`` maps design name to ``{scenario label: assessment}``;
+    ``scenario_labels`` selects and orders the scenario columns.
+    """
+    headers = ["storage system design", "outlays"]
+    for label in scenario_labels:
+        headers += [f"{label} RT (hr)", f"{label} DL (hr)", f"{label} pen.", f"{label} total"]
+    table = Table(headers=headers, title=title)
+    for design_name, per_scenario in results.items():
+        first = next(iter(per_scenario.values()))
+        row = [design_name, format_money(first.costs.total_outlays)]
+        for label in scenario_labels:
+            assessment = per_scenario[label]
+            row += [
+                f"{assessment.recovery_time / HOUR:.1f}",
+                f"{assessment.recent_data_loss / HOUR:.2f}"
+                if not assessment.data_loss.total_loss
+                else "total",
+                format_money(assessment.costs.total_penalties),
+                format_money(assessment.total_cost),
+            ]
+        table.add_row(*row)
+    return table.render()

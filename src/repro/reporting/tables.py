@@ -1,0 +1,90 @@
+"""A minimal ASCII table renderer.
+
+Kept deliberately tiny: headers, left/right alignment by column, and a
+title.  The benchmark harness uses it to print tables shaped like the
+paper's, so results can be eyeballed against the original.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+class Table:
+    """An ASCII table built row by row.
+
+    Parameters
+    ----------
+    headers:
+        Column headers.
+    align:
+        Per-column alignment: ``"l"`` or ``"r"``.  Defaults to left for
+        the first column and right for the rest (label + numbers).
+    title:
+        Optional title printed above the table.
+    """
+
+    def __init__(
+        self,
+        headers: Sequence[str],
+        align: Optional[Sequence[str]] = None,
+        title: Optional[str] = None,
+    ):
+        if not headers:
+            raise ValueError("a table needs at least one column")
+        self.headers = [str(h) for h in headers]
+        if align is None:
+            align = ["l"] + ["r"] * (len(headers) - 1)
+        if len(align) != len(headers):
+            raise ValueError("align must match the number of columns")
+        if any(a not in ("l", "r") for a in align):
+            raise ValueError("alignment must be 'l' or 'r'")
+        self.align = list(align)
+        self.title = title
+        self._rows: "List[List[str]]" = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are stringified."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self._rows.append([str(cell) for cell in cells])
+
+    def add_rows(self, rows: Iterable[Sequence[object]]) -> None:
+        """Append several rows."""
+        for row in rows:
+            self.add_row(*row)
+
+    @property
+    def rows(self) -> "List[List[str]]":
+        """A copy of the accumulated rows (stringified)."""
+        return [list(row) for row in self._rows]
+
+    def render(self) -> str:
+        """The table as a string, column widths fitted to content."""
+        widths = [len(h) for h in self.headers]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            parts = []
+            for cell, width, align in zip(cells, widths, self.align):
+                parts.append(cell.ljust(width) if align == "l" else cell.rjust(width))
+            return "| " + " | ".join(parts) + " |"
+
+        separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(separator)
+        lines.append(fmt_row(self.headers))
+        lines.append(separator)
+        for row in self._rows:
+            lines.append(fmt_row(row))
+        lines.append(separator)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,24 @@
+"""Failure scenarios, locations and business requirements.
+
+These are the paper's Table 1 "Business requirements" and "Failure
+scenarios and recovery goals" input blocks:
+
+* :mod:`repro.scenarios.locations` — a containment hierarchy
+  (region > site > building) used to map a named failure scope to the
+  set of failed devices;
+* :mod:`repro.scenarios.failures` — :class:`FailureScope` and
+  :class:`FailureScenario` (scope + recovery time target);
+* :mod:`repro.scenarios.requirements` — penalty rates and optional
+  RTO/RPO objectives.
+"""
+
+from .locations import Location
+from .failures import FailureScope, FailureScenario
+from .requirements import BusinessRequirements
+
+__all__ = [
+    "Location",
+    "FailureScope",
+    "FailureScenario",
+    "BusinessRequirements",
+]

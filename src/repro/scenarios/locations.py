@@ -1,0 +1,72 @@
+"""Physical placement of devices: region > site > building.
+
+The paper's failure scopes ("building", "site", "geographic region")
+fail *every device at the named place*.  A :class:`Location` records
+where a device lives so the framework can compute which devices a scope
+takes out.  Two locations are co-failed at a given granularity when
+their identifiers match at that granularity and all coarser ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import DesignError
+
+
+@dataclass(frozen=True)
+class Location:
+    """A place in the region/site/building containment hierarchy.
+
+    Parameters
+    ----------
+    region:
+        Geographic region (e.g. ``"us-west"``); the coarsest granularity.
+    site:
+        Campus or datacenter within the region.
+    building:
+        Building within the site.  Defaults to ``"main"`` for single-
+        building sites.
+    """
+
+    region: str
+    site: str
+    building: str = "main"
+
+    def __post_init__(self) -> None:
+        for label, value in (
+            ("region", self.region),
+            ("site", self.site),
+            ("building", self.building),
+        ):
+            if not value or not isinstance(value, str):
+                raise DesignError(f"location {label} must be a non-empty string")
+
+    # -- containment queries --------------------------------------------------
+
+    def same_building(self, other: "Location") -> bool:
+        """True when both locations are in the same building."""
+        return (
+            self.region == other.region
+            and self.site == other.site
+            and self.building == other.building
+        )
+
+    def same_site(self, other: "Location") -> bool:
+        """True when both locations are on the same site."""
+        return self.region == other.region and self.site == other.site
+
+    def same_region(self, other: "Location") -> bool:
+        """True when both locations are in the same geographic region."""
+        return self.region == other.region
+
+    def label(self) -> str:
+        """Compact ``region/site/building`` rendering for reports."""
+        return f"{self.region}/{self.site}/{self.building}"
+
+
+#: Conventional default placement for single-site designs.
+PRIMARY_SITE = Location(region="region-a", site="primary", building="main")
+
+#: A remote vault / recovery facility in a different region.
+REMOTE_SITE = Location(region="region-b", site="remote", building="main")

@@ -1,0 +1,111 @@
+"""Business requirements (paper section 3.1.2).
+
+Two penalty rates translate the dependability outputs into dollars:
+the *data unavailability penalty rate* multiplies the recovery time, and
+the *recent data loss penalty rate* multiplies the recent data loss.
+The case study sets both to $50,000 per hour.
+
+In addition, optional RTO/RPO objectives can be declared; the design
+optimizer (:mod:`repro.design`) uses them as hard feasibility
+constraints, while the evaluator simply reports whether they are met.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..exceptions import DesignError
+from ..units import HOUR, parse_duration
+
+
+@dataclass(frozen=True)
+class BusinessRequirements:
+    """Penalty rates and (optional) recovery objectives.
+
+    Parameters
+    ----------
+    unavailability_penalty_rate:
+        Dollars per *second* of outage (``unavailPenRate``).  Use
+        :meth:`per_hour` to specify in the paper's $/hour terms.
+    loss_penalty_rate:
+        Dollars per *second* of lost recent updates (``lossPenRate``).
+    rto:
+        Recovery time objective, seconds (optional).
+    rpo:
+        Recovery point objective (bound on recent data loss), seconds
+        (optional).
+    """
+
+    unavailability_penalty_rate: float
+    loss_penalty_rate: float
+    rto: Optional[float] = None
+    rpo: Optional[float] = None
+
+    def __init__(
+        self,
+        unavailability_penalty_rate: float,
+        loss_penalty_rate: float,
+        rto: Union[str, float, None] = None,
+        rpo: Union[str, float, None] = None,
+    ):
+        if unavailability_penalty_rate < 0 or loss_penalty_rate < 0:
+            raise DesignError("penalty rates must be >= 0")
+        rto_s = None if rto is None else parse_duration(rto)
+        rpo_s = None if rpo is None else parse_duration(rpo)
+        if rto_s is not None and rto_s < 0:
+            raise DesignError(f"RTO must be >= 0, got {rto!r}")
+        if rpo_s is not None and rpo_s < 0:
+            raise DesignError(f"RPO must be >= 0, got {rpo!r}")
+        object.__setattr__(self, "unavailability_penalty_rate", unavailability_penalty_rate)
+        object.__setattr__(self, "loss_penalty_rate", loss_penalty_rate)
+        object.__setattr__(self, "rto", rto_s)
+        object.__setattr__(self, "rpo", rpo_s)
+
+    @classmethod
+    def per_hour(
+        cls,
+        unavailability_dollars_per_hour: float,
+        loss_dollars_per_hour: float,
+        rto: Union[str, float, None] = None,
+        rpo: Union[str, float, None] = None,
+    ) -> "BusinessRequirements":
+        """Construct from $/hour rates (the units the paper quotes)."""
+        return cls(
+            unavailability_penalty_rate=unavailability_dollars_per_hour / HOUR,
+            loss_penalty_rate=loss_dollars_per_hour / HOUR,
+            rto=rto,
+            rpo=rpo,
+        )
+
+    # -- penalty computation ----------------------------------------------------
+
+    def outage_penalty(self, recovery_time: float) -> float:
+        """Dollar penalty for an outage of the given duration (seconds)."""
+        return self.unavailability_penalty_rate * max(0.0, recovery_time)
+
+    def loss_penalty(self, data_loss: float) -> float:
+        """Dollar penalty for losing the given span of recent updates."""
+        return self.loss_penalty_rate * max(0.0, data_loss)
+
+    def total_penalty(self, recovery_time: float, data_loss: float) -> float:
+        """Combined outage + loss penalty."""
+        return self.outage_penalty(recovery_time) + self.loss_penalty(data_loss)
+
+    # -- objective checks ---------------------------------------------------------
+
+    def meets_rto(self, recovery_time: float) -> bool:
+        """True when the recovery time satisfies the RTO (or none is set)."""
+        return self.rto is None or recovery_time <= self.rto
+
+    def meets_rpo(self, data_loss: float) -> bool:
+        """True when the data loss satisfies the RPO (or none is set)."""
+        return self.rpo is None or data_loss <= self.rpo
+
+    def meets_objectives(self, recovery_time: float, data_loss: float) -> bool:
+        """True when both objectives are satisfied."""
+        return self.meets_rto(recovery_time) and self.meets_rpo(data_loss)
+
+
+#: The case study's requirements: $50k/hour for both outage and loss.
+CASE_STUDY_REQUIREMENTS = BusinessRequirements.per_hour(50_000.0, 50_000.0)

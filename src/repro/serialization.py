@@ -1,0 +1,499 @@
+"""Building framework objects from plain dictionaries (JSON-friendly).
+
+The CLI and configuration files describe evaluations declaratively;
+this module turns those descriptions into framework objects.  Strings
+use the same vocabulary as the paper's tables (``"12 hr"``,
+``"799 KB/s"``), and each ``kind`` tag names a class:
+
+* workloads: a preset name (``"cello"``, ``"oltp"``, ``"web"``) or a
+  full parameter dictionary;
+* devices: ``disk_array`` / ``tape_library`` / ``vault`` /
+  ``network_link`` / ``shipment``, or ``catalog: <factory>`` to use a
+  Table 4 preset;
+* techniques: ``primary`` / ``snapshot`` / ``split_mirror`` /
+  ``sync_mirror`` / ``async_mirror`` / ``batched_async_mirror`` /
+  ``backup`` / ``vaulting``;
+* scenarios: ``object`` / ``array`` / ``building`` / ``site`` /
+  ``region``;
+* designs: a named case-study design or ``{name, levels: [...]}``.
+
+Unknown keys raise immediately — a typo in a config should never
+silently fall back to a default.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from .casestudy import all_table7_designs
+from .core.hierarchy import StorageDesign
+from .devices import catalog as device_catalog
+from .devices.base import Device
+from .devices.costs import CostModel
+from .devices.disk_array import DiskArray
+from .devices.interconnect import NetworkLink, Shipment
+from .devices.spares import SpareConfig, SpareType
+from .devices.tape_library import TapeLibrary
+from .devices.vault import Vault
+from .exceptions import DesignError
+from .scenarios.failures import FailureScenario, FailureScope
+from .scenarios.locations import Location
+from .scenarios.requirements import BusinessRequirements
+from .techniques.backup import Backup, IncrementalKind, IncrementalPolicy
+from .techniques.base import ProtectionTechnique
+from .techniques.mirroring import AsyncMirror, BatchedAsyncMirror, SyncMirror
+from .techniques.primary import PrimaryCopy
+from .techniques.snapshot import VirtualSnapshot
+from .techniques.split_mirror import SplitMirror
+from .techniques.vaulting import RemoteVaulting
+from .workload.batch_curve import BatchUpdateCurve
+from .workload.presets import cello, oltp_database, web_server
+from .workload.spec import Workload
+
+_WORKLOAD_PRESETS: "Dict[str, Callable[[], Workload]]" = {
+    "cello": cello,
+    "oltp": oltp_database,
+    "web": web_server,
+}
+
+
+def _require(mapping: Mapping[str, Any], key: str, context: str) -> Any:
+    if key not in mapping:
+        raise DesignError(f"{context}: missing required key {key!r}")
+    return mapping[key]
+
+
+def _check_keys(mapping: Mapping[str, Any], allowed: set, context: str) -> None:
+    unknown = set(mapping) - allowed
+    if unknown:
+        raise DesignError(
+            f"{context}: unknown keys {sorted(unknown)!r} "
+            f"(allowed: {sorted(allowed)!r})"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Workloads.
+# ---------------------------------------------------------------------------
+
+
+def workload_from_spec(spec: Any) -> Workload:
+    """A preset name or a full workload dictionary."""
+    if isinstance(spec, str):
+        try:
+            return _WORKLOAD_PRESETS[spec]()
+        except KeyError:
+            raise DesignError(
+                f"unknown workload preset {spec!r} "
+                f"(available: {sorted(_WORKLOAD_PRESETS)})"
+            ) from None
+    _check_keys(
+        spec,
+        {
+            "name",
+            "data_capacity",
+            "avg_access_rate",
+            "avg_update_rate",
+            "burst_multiplier",
+            "batch_curve",
+            "short_window_rate",
+        },
+        "workload",
+    )
+    curve = BatchUpdateCurve(
+        _require(spec, "batch_curve", "workload"),
+        short_window_rate=spec.get("short_window_rate"),
+    )
+    return Workload(
+        name=spec.get("name", "custom"),
+        data_capacity=_require(spec, "data_capacity", "workload"),
+        avg_access_rate=_require(spec, "avg_access_rate", "workload"),
+        avg_update_rate=_require(spec, "avg_update_rate", "workload"),
+        burst_multiplier=spec.get("burst_multiplier", 1.0),
+        batch_curve=curve,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Devices.
+# ---------------------------------------------------------------------------
+
+
+def _location_from_spec(spec: Optional[Mapping[str, Any]]) -> Optional[Location]:
+    if spec is None:
+        return None
+    _check_keys(spec, {"region", "site", "building"}, "location")
+    return Location(
+        region=_require(spec, "region", "location"),
+        site=_require(spec, "site", "location"),
+        building=spec.get("building", "main"),
+    )
+
+
+def _spare_from_spec(spec: Optional[Mapping[str, Any]]) -> Optional[SpareConfig]:
+    if spec is None:
+        return None
+    _check_keys(spec, {"type", "provisioning_time", "discount"}, "spare")
+    spare_type = SpareType(_require(spec, "type", "spare"))
+    if spare_type is SpareType.NONE:
+        return SpareConfig.none()
+    return SpareConfig(
+        spare_type,
+        provisioning_time=spec.get("provisioning_time", 0.0),
+        discount=spec.get("discount", 0.0),
+    )
+
+
+def _cost_from_spec(spec: Optional[Mapping[str, Any]]) -> Optional[CostModel]:
+    if spec is None:
+        return None
+    _check_keys(
+        spec, {"fixed", "per_gb", "per_mb_per_sec", "per_shipment"}, "cost_model"
+    )
+    return CostModel.from_paper_units(
+        fixed=spec.get("fixed", 0.0),
+        per_gb=spec.get("per_gb", 0.0),
+        per_mb_per_sec=spec.get("per_mb_per_sec", 0.0),
+        per_shipment=spec.get("per_shipment", 0.0),
+    )
+
+
+_CATALOG_FACTORIES = {
+    "midrange_disk_array": device_catalog.midrange_disk_array,
+    "enterprise_tape_library": device_catalog.enterprise_tape_library,
+    "offsite_vault": device_catalog.offsite_vault,
+    "air_shipment": device_catalog.air_shipment,
+    "oc3_links": device_catalog.oc3_links,
+    "san_link": device_catalog.san_link,
+}
+
+
+def device_from_spec(spec: Mapping[str, Any]) -> Device:
+    """A catalog preset reference or a fully specified device."""
+    if "catalog" in spec:
+        _check_keys(spec, {"catalog", "name", "link_count", "location"}, "device")
+        factory_name = spec["catalog"]
+        try:
+            factory = _CATALOG_FACTORIES[factory_name]
+        except KeyError:
+            raise DesignError(
+                f"unknown catalog device {factory_name!r} "
+                f"(available: {sorted(_CATALOG_FACTORIES)})"
+            ) from None
+        kwargs: "Dict[str, Any]" = {}
+        if "name" in spec:
+            kwargs["name"] = spec["name"]
+        if "link_count" in spec:
+            if factory_name != "oc3_links":
+                raise DesignError("link_count applies only to oc3_links")
+            kwargs["link_count"] = spec["link_count"]
+        location = _location_from_spec(spec.get("location"))
+        if location is not None:
+            kwargs["location"] = location
+        return factory(**kwargs)
+
+    kind = _require(spec, "kind", "device")
+    common = {"kind", "name", "location", "spare", "cost_model"}
+    location = _location_from_spec(spec.get("location"))
+    spare = _spare_from_spec(spec.get("spare"))
+    cost = _cost_from_spec(spec.get("cost_model"))
+    extras: "Dict[str, Any]" = {}
+    if location is not None:
+        extras["location"] = location
+
+    if kind == "disk_array":
+        _check_keys(
+            spec,
+            common | {
+                "max_capacity_slots", "slot_capacity", "max_bandwidth_slots",
+                "slot_bandwidth", "enclosure_bandwidth", "raid_capacity_factor",
+            },
+            "disk_array",
+        )
+        return DiskArray(
+            name=_require(spec, "name", "disk_array"),
+            max_capacity_slots=_require(spec, "max_capacity_slots", "disk_array"),
+            slot_capacity=_require(spec, "slot_capacity", "disk_array"),
+            max_bandwidth_slots=_require(spec, "max_bandwidth_slots", "disk_array"),
+            slot_bandwidth=_require(spec, "slot_bandwidth", "disk_array"),
+            enclosure_bandwidth=_require(spec, "enclosure_bandwidth", "disk_array"),
+            raid_capacity_factor=spec.get("raid_capacity_factor", 2.0),
+            cost_model=cost,
+            spare=spare,
+            **extras,
+        )
+    if kind == "tape_library":
+        _check_keys(
+            spec,
+            common | {
+                "max_cartridges", "cartridge_capacity", "max_drives",
+                "drive_bandwidth", "enclosure_bandwidth", "access_delay",
+            },
+            "tape_library",
+        )
+        return TapeLibrary(
+            name=_require(spec, "name", "tape_library"),
+            max_cartridges=_require(spec, "max_cartridges", "tape_library"),
+            cartridge_capacity=_require(spec, "cartridge_capacity", "tape_library"),
+            max_drives=_require(spec, "max_drives", "tape_library"),
+            drive_bandwidth=_require(spec, "drive_bandwidth", "tape_library"),
+            enclosure_bandwidth=_require(spec, "enclosure_bandwidth", "tape_library"),
+            access_delay=spec.get("access_delay", "0.01 hr"),
+            cost_model=cost,
+            spare=spare,
+            **extras,
+        )
+    if kind == "vault":
+        _check_keys(
+            spec, common | {"max_cartridges", "cartridge_capacity"}, "vault"
+        )
+        return Vault(
+            name=_require(spec, "name", "vault"),
+            max_cartridges=_require(spec, "max_cartridges", "vault"),
+            cartridge_capacity=_require(spec, "cartridge_capacity", "vault"),
+            cost_model=cost,
+            spare=spare,
+            **extras,
+        )
+    if kind == "network_link":
+        _check_keys(
+            spec,
+            common | {"link_bandwidth", "link_count", "propagation_delay"},
+            "network_link",
+        )
+        return NetworkLink(
+            name=_require(spec, "name", "network_link"),
+            link_bandwidth=_require(spec, "link_bandwidth", "network_link"),
+            link_count=spec.get("link_count", 1),
+            propagation_delay=spec.get("propagation_delay", 0.0),
+            cost_model=cost,
+            spare=spare,
+            **extras,
+        )
+    if kind == "shipment":
+        _check_keys(spec, common | {"delay"}, "shipment")
+        return Shipment(
+            name=_require(spec, "name", "shipment"),
+            delay=spec.get("delay", "24 hr"),
+            cost_model=cost,
+            **extras,
+        )
+    raise DesignError(f"unknown device kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Techniques.
+# ---------------------------------------------------------------------------
+
+
+def technique_from_spec(spec: Mapping[str, Any]) -> ProtectionTechnique:
+    """Build a technique from its kind tag and parameters."""
+    kind = _require(spec, "kind", "technique")
+    if kind == "primary":
+        _check_keys(spec, {"kind", "name"}, "primary")
+        return PrimaryCopy(name=spec.get("name", "foreground workload"))
+    if kind == "snapshot":
+        _check_keys(
+            spec, {"kind", "name", "accumulation_window", "retention_count"},
+            "snapshot",
+        )
+        return VirtualSnapshot(
+            accumulation_window=_require(spec, "accumulation_window", "snapshot"),
+            retention_count=_require(spec, "retention_count", "snapshot"),
+            name=spec.get("name", "virtual snapshot"),
+        )
+    if kind == "split_mirror":
+        _check_keys(
+            spec, {"kind", "name", "accumulation_window", "retention_count"},
+            "split_mirror",
+        )
+        return SplitMirror(
+            accumulation_window=_require(spec, "accumulation_window", "split_mirror"),
+            retention_count=_require(spec, "retention_count", "split_mirror"),
+            name=spec.get("name", "split mirror"),
+        )
+    if kind == "sync_mirror":
+        _check_keys(spec, {"kind", "name"}, "sync_mirror")
+        return SyncMirror(name=spec.get("name", "sync mirror"))
+    if kind == "async_mirror":
+        _check_keys(spec, {"kind", "name", "write_behind_lag"}, "async_mirror")
+        return AsyncMirror(
+            write_behind_lag=spec.get("write_behind_lag", "30 s"),
+            name=spec.get("name", "async mirror"),
+        )
+    if kind == "batched_async_mirror":
+        _check_keys(
+            spec,
+            {
+                "kind", "name", "accumulation_window", "propagation_window",
+                "hold_window", "retention_count",
+            },
+            "batched_async_mirror",
+        )
+        return BatchedAsyncMirror(
+            accumulation_window=spec.get("accumulation_window", "1 min"),
+            propagation_window=spec.get("propagation_window"),
+            hold_window=spec.get("hold_window", 0.0),
+            retention_count=spec.get("retention_count", 1),
+            name=spec.get("name", "asyncB mirror"),
+        )
+    if kind == "backup":
+        _check_keys(
+            spec,
+            {
+                "kind", "name", "full_accumulation_window",
+                "full_propagation_window", "full_hold_window",
+                "retention_count", "incremental",
+            },
+            "backup",
+        )
+        incremental = None
+        if spec.get("incremental") is not None:
+            inc = spec["incremental"]
+            _check_keys(
+                inc,
+                {
+                    "kind", "count", "accumulation_window",
+                    "propagation_window", "hold_window",
+                },
+                "incremental",
+            )
+            incremental = IncrementalPolicy(
+                kind=IncrementalKind(_require(inc, "kind", "incremental")),
+                count=_require(inc, "count", "incremental"),
+                accumulation_window=_require(inc, "accumulation_window", "incremental"),
+                propagation_window=_require(inc, "propagation_window", "incremental"),
+                hold_window=inc.get("hold_window", 0.0),
+            )
+        return Backup(
+            full_accumulation_window=_require(
+                spec, "full_accumulation_window", "backup"
+            ),
+            full_propagation_window=_require(
+                spec, "full_propagation_window", "backup"
+            ),
+            full_hold_window=spec.get("full_hold_window", 0.0),
+            retention_count=spec.get("retention_count", 1),
+            incremental=incremental,
+            name=spec.get("name", "backup"),
+        )
+    if kind == "vaulting":
+        _check_keys(
+            spec,
+            {
+                "kind", "name", "accumulation_window", "propagation_window",
+                "hold_window", "retention_count",
+            },
+            "vaulting",
+        )
+        return RemoteVaulting(
+            accumulation_window=_require(spec, "accumulation_window", "vaulting"),
+            propagation_window=_require(spec, "propagation_window", "vaulting"),
+            hold_window=_require(spec, "hold_window", "vaulting"),
+            retention_count=_require(spec, "retention_count", "vaulting"),
+            name=spec.get("name", "remote vaulting"),
+        )
+    raise DesignError(f"unknown technique kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Designs, scenarios and requirements.
+# ---------------------------------------------------------------------------
+
+
+def design_from_spec(spec: Any) -> StorageDesign:
+    """A named case-study design or a full ``{name, levels}`` dictionary.
+
+    Devices may be shared across levels by giving them an ``id`` and
+    referring to it with ``{"ref": "<id>"}`` (the split-mirror level
+    lives on the primary array this way).
+    """
+    if isinstance(spec, str):
+        designs = all_table7_designs()
+        if spec not in designs:
+            raise DesignError(
+                f"unknown named design {spec!r} (available: {sorted(designs)})"
+            )
+        return designs[spec]
+    _check_keys(spec, {"name", "levels", "recovery_facility"}, "design")
+    design = StorageDesign(
+        _require(spec, "name", "design"),
+        recovery_facility=_spare_from_spec(spec.get("recovery_facility")),
+    )
+    devices_by_id: "Dict[str, Device]" = {}
+
+    def resolve_device(device_spec: Any, context: str) -> Device:
+        if device_spec is None:
+            raise DesignError(f"{context}: device required")
+        if "ref" in device_spec:
+            ref = device_spec["ref"]
+            if ref not in devices_by_id:
+                raise DesignError(f"{context}: unknown device ref {ref!r}")
+            return devices_by_id[ref]
+        local = dict(device_spec)
+        device_id = local.pop("id", None)
+        device = device_from_spec(local)
+        if device_id is not None:
+            devices_by_id[device_id] = device
+        return device
+
+    for index, level_spec in enumerate(_require(spec, "levels", "design")):
+        _check_keys(
+            level_spec,
+            {"technique", "store", "transport", "feeds_from"},
+            f"level {index}",
+        )
+        technique = technique_from_spec(_require(level_spec, "technique", f"level {index}"))
+        store = resolve_device(_require(level_spec, "store", f"level {index}"), f"level {index}")
+        transport = None
+        if level_spec.get("transport") is not None:
+            transport = resolve_device(level_spec["transport"], f"level {index}")
+        design.add_level(
+            technique,
+            store=store,
+            transport=transport,
+            feeds_from=level_spec.get("feeds_from"),
+        )
+    return design
+
+
+def scenario_from_spec(spec: Any) -> FailureScenario:
+    """A scope-name string or a full scenario dictionary."""
+    if isinstance(spec, str):
+        spec = {"scope": spec}
+    _check_keys(
+        spec,
+        {"scope", "failed_device", "failed_location", "recovery_target_age",
+         "object_size"},
+        "scenario",
+    )
+    scope = FailureScope(_require(spec, "scope", "scenario"))
+    defaults: "Dict[str, Any]" = {}
+    if scope is FailureScope.DISK_ARRAY:
+        defaults["failed_device"] = spec.get("failed_device", "primary-array")
+    if scope is FailureScope.DATA_OBJECT:
+        defaults["object_size"] = spec.get("object_size", "1 MB")
+    return FailureScenario(
+        scope=scope,
+        failed_device=defaults.get("failed_device", spec.get("failed_device")),
+        failed_location=_location_from_spec(spec.get("failed_location")),
+        recovery_target_age=spec.get("recovery_target_age", 0.0),
+        object_size=defaults.get("object_size", spec.get("object_size")),
+    )
+
+
+def requirements_from_spec(spec: Mapping[str, Any]) -> BusinessRequirements:
+    """Penalty rates in $/hour plus optional RTO/RPO."""
+    _check_keys(
+        spec,
+        {"unavailability_per_hour", "loss_per_hour", "rto", "rpo"},
+        "requirements",
+    )
+    return BusinessRequirements.per_hour(
+        unavailability_dollars_per_hour=_require(
+            spec, "unavailability_per_hour", "requirements"
+        ),
+        loss_dollars_per_hour=_require(spec, "loss_per_hour", "requirements"),
+        rto=spec.get("rto"),
+        rpo=spec.get("rpo"),
+    )

@@ -1,0 +1,111 @@
+"""A minimal discrete-event simulation engine.
+
+Events are ``(time, sequence, Event)`` triples in a heap; handlers are
+registered per event kind and may schedule further events.  The engine
+is deliberately small — the RP lifecycle needs nothing more — but it is
+a real engine: stable ordering for simultaneous events, run-until-time
+semantics for probing state mid-simulation, and guard rails against
+scheduling into the past.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class Event:
+    """A simulation event: a kind tag plus an arbitrary payload."""
+
+    kind: str
+    payload: Any = None
+
+
+Handler = Callable[["SimulationEngine", Event], None]
+
+
+class SimulationEngine:
+    """Heap-scheduled discrete-event loop.
+
+    Usage::
+
+        engine = SimulationEngine()
+        engine.on("tick", lambda eng, ev: eng.schedule(eng.now + 1, ev))
+        engine.schedule(0.0, Event("tick"))
+        engine.run_until(10.0)
+    """
+
+    def __init__(self):
+        self._queue: "List[Tuple[float, int, Event]]" = []
+        self._sequence = itertools.count()
+        self._handlers: "Dict[str, List[Handler]]" = {}
+        self.now = 0.0
+        self.processed = 0
+
+    # -- wiring -------------------------------------------------------------------
+
+    def on(self, kind: str, handler: Handler) -> None:
+        """Register a handler for an event kind (multiple allowed)."""
+        self._handlers.setdefault(kind, []).append(handler)
+
+    def schedule(self, time: float, event: Event) -> None:
+        """Schedule an event; scheduling into the past is an error."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule {event.kind!r} at {time} before now={self.now}"
+            )
+        heapq.heappush(self._queue, (time, next(self._sequence), event))
+
+    # -- execution ------------------------------------------------------------------
+
+    def _dispatch(self, event: Event) -> None:
+        handlers = self._handlers.get(event.kind)
+        if not handlers:
+            raise SimulationError(f"no handler registered for {event.kind!r}")
+        for handler in handlers:
+            handler(self, event)
+
+    def step(self) -> Optional[Event]:
+        """Process the next event; returns it, or None when idle."""
+        if not self._queue:
+            return None
+        time, _seq, event = heapq.heappop(self._queue)
+        self.now = time
+        self._dispatch(event)
+        self.processed += 1
+        return event
+
+    def run_until(self, end_time: float) -> None:
+        """Process every event scheduled strictly before ``end_time``.
+
+        Leaves ``now`` at ``end_time`` so state can be probed "at" that
+        instant with all earlier effects applied.
+        """
+        if end_time < self.now:
+            raise SimulationError(
+                f"cannot run backwards to {end_time} from now={self.now}"
+            )
+        while self._queue and self._queue[0][0] < end_time:
+            self.step()
+        self.now = end_time
+
+    def run_to_completion(self, max_events: int = 10_000_000) -> None:
+        """Drain the queue entirely (bounded against runaway schedules)."""
+        count = 0
+        while self._queue:
+            self.step()
+            count += 1
+            if count > max_events:
+                raise SimulationError(
+                    f"exceeded {max_events} events; runaway schedule?"
+                )
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)

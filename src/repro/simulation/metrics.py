@@ -1,0 +1,68 @@
+"""Statistics over simulated loss samples.
+
+The validation story needs three numbers per campaign: the worst sample
+(to compare against the analytic bound), the mean (to show how
+pessimistic the worst case is on average), and a high percentile (the
+operationally interesting tail).  :func:`summarize_losses` computes all
+of them, excluding total-loss samples, which are counted separately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from ..exceptions import SimulationError
+from .simulator import SimulatedLoss
+
+
+@dataclass(frozen=True)
+class LossStatistics:
+    """Summary of a failure-injection campaign's loss samples."""
+
+    count: int
+    total_loss_count: int
+    max_loss: float
+    mean_loss: float
+    median_loss: float
+    p95_loss: float
+
+    def within_bound(self, analytic_bound: float, tolerance: float = 1e-6) -> bool:
+        """Whether every finite sample respects the analytic worst case."""
+        return self.max_loss <= analytic_bound + tolerance
+
+    def tightness(self, analytic_bound: float) -> float:
+        """max_sample / bound: 1.0 means the bound is achieved exactly."""
+        if analytic_bound == 0:
+            return 1.0 if self.max_loss == 0 else float("inf")
+        return self.max_loss / analytic_bound
+
+
+def summarize_losses(samples: Sequence[SimulatedLoss]) -> LossStatistics:
+    """Aggregate a campaign's samples into :class:`LossStatistics`."""
+    if not samples:
+        raise SimulationError("no loss samples to summarize")
+    finite: "List[float]" = [
+        s.data_loss for s in samples if not s.total_loss
+    ]
+    total_losses = sum(1 for s in samples if s.total_loss)
+    if not finite:
+        return LossStatistics(
+            count=len(samples),
+            total_loss_count=total_losses,
+            max_loss=float("inf"),
+            mean_loss=float("inf"),
+            median_loss=float("inf"),
+            p95_loss=float("inf"),
+        )
+    array = np.asarray(finite)
+    return LossStatistics(
+        count=len(samples),
+        total_loss_count=total_losses,
+        max_loss=float(array.max()),
+        mean_loss=float(array.mean()),
+        median_loss=float(np.median(array)),
+        p95_loss=float(np.percentile(array, 95)),
+    )

@@ -1,0 +1,110 @@
+"""Retrieval-point bookkeeping for one simulated level.
+
+An :class:`RPStore` tracks every RP a level has been promised: its
+snapshot time, when it becomes available (after hold + propagation and
+any upstream delays), when it expires (retention), whether it is a full
+or an incremental, and — for incrementals — the base full it depends
+on.  Queries answer "what was usable at instant *t* for target *s*?",
+which is exactly what failure injection needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..exceptions import SimulationError
+
+
+@dataclass(frozen=True)
+class RetrievalPoint:
+    """One RP's lifecycle timestamps (all absolute simulation seconds)."""
+
+    snapshot_time: float
+    available_at: float
+    expires_at: float
+    is_full: bool = True
+    label: str = "rp"
+    base_full_snapshot: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.available_at < self.snapshot_time:
+            raise SimulationError(
+                f"RP {self.label!r} available before its snapshot"
+            )
+        if self.expires_at <= self.snapshot_time:
+            raise SimulationError(f"RP {self.label!r} expires before creation")
+
+
+class RPStore:
+    """All RPs of one level, queryable at any instant.
+
+    RPs are appended in snapshot order as the simulator creates them;
+    expiry is handled lazily at query time (an RP is usable at *t* only
+    if ``available_at <= t < expires_at``).
+    """
+
+    def __init__(self, level_name: str):
+        self.level_name = level_name
+        self._points: "List[RetrievalPoint]" = []
+
+    def add(self, point: RetrievalPoint) -> None:
+        """Record an RP; snapshot times must be non-decreasing."""
+        if self._points and point.snapshot_time < self._points[-1].snapshot_time:
+            raise SimulationError(
+                f"{self.level_name}: RPs must be added in snapshot order"
+            )
+        self._points.append(point)
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    @property
+    def points(self) -> "List[RetrievalPoint]":
+        """All recorded RPs (copies), in snapshot order."""
+        return list(self._points)
+
+    # -- usability ------------------------------------------------------------------
+
+    def _full_available(self, snapshot: float, at_time: float) -> bool:
+        """Whether the full with the given snapshot is live at ``at_time``."""
+        for point in self._points:
+            if (
+                point.is_full
+                and point.snapshot_time == snapshot
+                and point.available_at <= at_time < point.expires_at
+            ):
+                return True
+        return False
+
+    def usable(self, point: RetrievalPoint, at_time: float) -> bool:
+        """Whether the RP can serve a restore at ``at_time``.
+
+        Available, unexpired, and — for incrementals — the base full
+        still live too.
+        """
+        if not (point.available_at <= at_time < point.expires_at):
+            return False
+        if point.is_full:
+            return True
+        if point.base_full_snapshot is None:
+            return False
+        return self._full_available(point.base_full_snapshot, at_time)
+
+    def newest_usable_at_or_before(
+        self, target_time: float, at_time: float
+    ) -> Optional[RetrievalPoint]:
+        """The freshest usable RP whose snapshot is <= the target time."""
+        best: Optional[RetrievalPoint] = None
+        for point in self._points:
+            if point.snapshot_time > target_time:
+                continue
+            if not self.usable(point, at_time):
+                continue
+            if best is None or point.snapshot_time > best.snapshot_time:
+                best = point
+        return best
+
+    def usable_count(self, at_time: float) -> int:
+        """How many RPs are usable at the instant (retention check)."""
+        return sum(1 for point in self._points if self.usable(point, at_time))

@@ -1,0 +1,280 @@
+"""Driving a storage design through simulated time.
+
+The :class:`DependabilitySimulator` builds the RP schedule of every
+secondary level of a :class:`~repro.core.hierarchy.StorageDesign` on a
+discrete-event engine (creation, availability and expiry events feeding
+per-level :class:`~repro.simulation.rp_store.RPStore` instances), then
+answers failure-injection queries:
+
+* :meth:`measure_loss` — for a failure at time *t*, the *actual* recent
+  data loss: the gap between the recovery target and the newest usable
+  RP across the surviving levels;
+* :meth:`measure_losses` — a batch of failure times at once;
+* :meth:`measure_degraded_loss` — the same with one level disabled for
+  a maintenance window (the paper's "degraded mode" future work): RPs
+  the disabled level would have created during the outage simply never
+  exist.
+
+The analytic model's worst-case bound should dominate every simulated
+sample (validation), and adversarial failure times should approach it
+(tightness); ``tests/test_simulation.py`` asserts both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.dataloss import level_range
+from ..core.hierarchy import Level, StorageDesign
+from ..exceptions import SimulationError
+from ..scenarios.failures import FailureScenario
+from .engine import Event, SimulationEngine
+from .rp_store import RPStore, RetrievalPoint
+
+
+@dataclass(frozen=True)
+class SimulatedLoss:
+    """The outcome of one injected failure."""
+
+    failure_time: float
+    target_age: float
+    data_loss: float
+    source_level_index: Optional[int]
+    total_loss: bool
+
+
+class DependabilitySimulator:
+    """Simulates the RP lifecycles of a design over a horizon.
+
+    Parameters
+    ----------
+    design:
+        The storage system design to simulate.
+    horizon:
+        Simulated duration, seconds.  Must comfortably exceed the
+        slowest level's cycle period times its retention count, so
+        steady state is reached; the constructor enforces two full
+        retention windows plus warm-up.
+    """
+
+    def __init__(self, design: StorageDesign, horizon: float):
+        if horizon <= 0:
+            raise SimulationError("horizon must be positive")
+        self.design = design
+        self.horizon = float(horizon)
+        self.engine = SimulationEngine()
+        self.stores: "Dict[int, RPStore]" = {}
+        self._disabled: "Dict[int, Tuple[float, float]]" = {}
+        self._built = False
+
+    # -- schedule construction -------------------------------------------------------
+
+    def _required_warmup(self) -> float:
+        """Time for the slowest level to fill its retention window."""
+        warmup = 0.0
+        for level in self.design.secondary_levels():
+            try:
+                cycle = level.technique.cycle()
+            except Exception:
+                continue
+            warmup = max(warmup, cycle.retention_count * cycle.period)
+        return warmup
+
+    def build(self) -> None:
+        """Generate every RP event over the horizon and run the engine."""
+        if self._built:
+            return
+        warmup = self._required_warmup()
+        if self.horizon < 2 * warmup:
+            raise SimulationError(
+                f"horizon {self.horizon:.0f}s is too short: need at least "
+                f"{2 * warmup:.0f}s (two retention windows of the slowest "
+                "level) to reach steady state"
+            )
+        self.engine.on("rp-created", self._on_rp_created)
+        for level in self.design.secondary_levels():
+            self.stores[level.index] = RPStore(level.technique.name)
+            self._schedule_level(level)
+        self.engine.run_to_completion()
+        self._built = True
+
+    def _schedule_level(self, level: Level) -> None:
+        """Emit rp-created events for every cycle event over the horizon."""
+        try:
+            cycle = level.technique.cycle()
+        except Exception:
+            # Continuous techniques (sync/async mirrors) track "now" with
+            # a fixed lag; modeled as dense RPs at a fine grain below.
+            self._schedule_continuous(level)
+            return
+        upstream = self.design.upstream_delay(level.index)
+        n_cycles = int(self.horizon // cycle.period) + 1
+        for k in range(n_cycles):
+            base = k * cycle.period
+            last_full_snapshot: Optional[float] = None
+            for event in cycle.events:
+                snapshot = base + event.offset
+                if snapshot > self.horizon:
+                    continue
+                payload = {
+                    "level": level.index,
+                    "snapshot": snapshot,
+                    "available": snapshot + upstream + event.availability_delay,
+                    "expires": snapshot + cycle.retention_count * cycle.period,
+                    "is_full": event.is_full,
+                    "label": event.label,
+                }
+                self.engine.schedule(snapshot, Event("rp-created", payload))
+        # Incremental base-full links are resolved at creation time in
+        # the handler (most recent full snapshot at or before).
+
+    def _schedule_continuous(self, level: Level) -> None:
+        """Mirrors hold a rolling copy: model as dense discrete images.
+
+        The continuous stream is discretized at ``step`` granularity
+        with the availability delay reduced by one step, so sampled
+        losses stay at or below the analytic lag bound (the
+        discretization errs conservative, never optimistic).
+        """
+        lag = level.technique.worst_lag()
+        step = max(lag / 4.0, 1.0)
+        delay = max(lag - step, 0.0)
+        upstream = self.design.upstream_delay(level.index)
+        count = int(self.horizon // step) + 1
+        for k in range(count):
+            snapshot = k * step
+            payload = {
+                "level": level.index,
+                "snapshot": snapshot,
+                "available": snapshot + upstream + delay,
+                # A mirror keeps only the current image: the previous
+                # "RP" is overwritten as soon as the next lands.
+                "expires": snapshot + 2 * step,
+                "is_full": True,
+                "label": "mirror-image",
+            }
+            self.engine.schedule(snapshot, Event("rp-created", payload))
+
+    def _on_rp_created(self, engine: SimulationEngine, event: Event) -> None:
+        payload = event.payload
+        level_index = payload["level"]
+        store = self.stores[level_index]
+        # Suppress RPs whose creation falls inside a disabled window.
+        disabled = self._disabled.get(level_index)
+        if disabled is not None:
+            start, end = disabled
+            if start <= payload["snapshot"] < end:
+                return
+        base_full: Optional[float] = None
+        if not payload["is_full"]:
+            fulls = [
+                p.snapshot_time
+                for p in store.points
+                if p.is_full and p.snapshot_time <= payload["snapshot"]
+            ]
+            if not fulls:
+                return  # incremental with no restorable base yet
+            base_full = max(fulls)
+        store.add(
+            RetrievalPoint(
+                snapshot_time=payload["snapshot"],
+                available_at=payload["available"],
+                expires_at=payload["expires"],
+                is_full=payload["is_full"],
+                label=payload["label"],
+                base_full_snapshot=base_full,
+            )
+        )
+
+    # -- degraded mode -----------------------------------------------------------------
+
+    def disable_level(self, level_index: int, start: float, end: float) -> None:
+        """Mark a level out of service for ``[start, end)``.
+
+        Must be called before :meth:`build`.  RPs the level would have
+        created in the window never exist — the paper's degraded-mode
+        question is how much extra loss exposure that creates.
+        """
+        if self._built:
+            raise SimulationError("disable_level must precede build()")
+        if end <= start:
+            raise SimulationError("disabled window must have positive length")
+        if level_index == 0:
+            raise SimulationError("cannot disable the primary copy")
+        self._disabled[level_index] = (start, end)
+
+    # -- failure injection -----------------------------------------------------------------
+
+    def measure_loss(
+        self,
+        scenario: FailureScenario,
+        failure_time: float,
+    ) -> SimulatedLoss:
+        """The actual data loss a failure at ``failure_time`` would cause."""
+        self.build()
+        if not 0 <= failure_time <= self.horizon:
+            raise SimulationError(
+                f"failure time {failure_time} outside horizon [0, {self.horizon}]"
+            )
+        target_time = failure_time - scenario.recovery_target_age
+        best: Optional[Tuple[float, int]] = None
+        for level in self.design.surviving_levels(scenario):
+            store = self.stores.get(level.index)
+            if store is None:
+                continue
+            point = store.newest_usable_at_or_before(target_time, failure_time)
+            if point is None:
+                continue
+            loss = target_time - point.snapshot_time
+            if best is None or loss < best[0]:
+                best = (loss, level.index)
+        if best is None:
+            return SimulatedLoss(
+                failure_time=failure_time,
+                target_age=scenario.recovery_target_age,
+                data_loss=float("inf"),
+                source_level_index=None,
+                total_loss=True,
+            )
+        return SimulatedLoss(
+            failure_time=failure_time,
+            target_age=scenario.recovery_target_age,
+            data_loss=best[0],
+            source_level_index=best[1],
+            total_loss=False,
+        )
+
+    def measure_losses(
+        self,
+        scenario: FailureScenario,
+        failure_times: Iterable[float],
+    ) -> "List[SimulatedLoss]":
+        """Batch :meth:`measure_loss` over many failure times."""
+        return [self.measure_loss(scenario, t) for t in failure_times]
+
+    # -- validation helpers ------------------------------------------------------------------
+
+    def analytic_bound(self, scenario: FailureScenario) -> float:
+        """The analytic worst-case loss for the scenario's best source.
+
+        The simulator's samples must never exceed this (for failure
+        times past warm-up and with no degraded windows).
+        """
+        best = float("inf")
+        for level in self.design.surviving_levels(scenario):
+            rng = level_range(self.design, level)
+            target = scenario.recovery_target_age
+            if target < rng.newest_age:
+                candidate = rng.newest_age
+            elif target <= rng.oldest_age:
+                candidate = level.technique.worst_spacing()
+            else:
+                continue
+            best = min(best, candidate)
+        return best
+
+    def steady_state_window(self) -> "Tuple[float, float]":
+        """Failure times safely past warm-up and before the horizon edge."""
+        warmup = self._required_warmup()
+        return warmup, self.horizon - warmup / 2

@@ -1,0 +1,58 @@
+"""Data protection technique models (paper section 3.2).
+
+The paper's key insight is that all data protection techniques share one
+set of basic operations — the **creation, retention and propagation of
+retrieval points (RPs)** — and can therefore be described by a single
+parameter set (accumulation/propagation/hold windows, cycle structure,
+retention, and copy/propagation representations).  Each technique model
+here:
+
+* validates its policy parameters (section 3.2.1's conventions),
+* converts the policy into bandwidth and capacity demands on the devices
+  it uses (section 3.2.3), and
+* exposes the RP timeline quantities (worst-case lag, RP spacing,
+  retention span) the compositional models consume (section 3.3).
+
+Modules:
+
+* :mod:`repro.techniques.base` — policy parameters, representations and
+  the :class:`ProtectionTechnique` interface;
+* :mod:`repro.techniques.timeline` — the RP cycle model: worst-case time
+  lag, usable-RP spacing and the guaranteed range of Figure 3;
+* :mod:`repro.techniques.primary` — the primary copy (level 0);
+* :mod:`repro.techniques.snapshot` — virtual (copy-on-write) snapshots;
+* :mod:`repro.techniques.split_mirror` — split-mirror PiT copies;
+* :mod:`repro.techniques.mirroring` — synchronous, asynchronous and
+  batched asynchronous inter-array mirroring;
+* :mod:`repro.techniques.backup` — full / cumulative-incremental /
+  differential-incremental backup cycles;
+* :mod:`repro.techniques.vaulting` — off-site vaulting of backup media.
+"""
+
+from .base import CopyRepresentation, ProtectionTechnique
+from .timeline import CycleModel, RPEvent
+from .primary import PrimaryCopy
+from .snapshot import VirtualSnapshot
+from .split_mirror import SplitMirror
+from .mirroring import AsyncMirror, BatchedAsyncMirror, SyncMirror
+from .backup import Backup, IncrementalKind, IncrementalPolicy
+from .vaulting import RemoteVaulting
+from .erasure import ErasureCodedArchive
+
+__all__ = [
+    "CopyRepresentation",
+    "ProtectionTechnique",
+    "CycleModel",
+    "RPEvent",
+    "PrimaryCopy",
+    "VirtualSnapshot",
+    "SplitMirror",
+    "SyncMirror",
+    "AsyncMirror",
+    "BatchedAsyncMirror",
+    "Backup",
+    "IncrementalKind",
+    "IncrementalPolicy",
+    "RemoteVaulting",
+    "ErasureCodedArchive",
+]

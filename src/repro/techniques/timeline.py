@@ -1,0 +1,242 @@
+"""Retrieval-point timeline math (paper section 3.3.2, Figures 2 and 3).
+
+A data protection level receives retrieval points on a repeating
+schedule.  For simple policies the schedule is one RP per accumulation
+window; richer policies cycle through several *propagation
+representations* (the classic example: a full backup every weekend, a
+cumulative incremental every weekday).  :class:`CycleModel` captures one
+cycle of that schedule as a list of :class:`RPEvent` and answers the
+three questions the compositional models ask:
+
+* **worst-case time lag** — how out-of-date can this level be, at the
+  worst possible failure instant?  For a single-event cycle this is the
+  paper's ``accW + holdW + propW``; for mixed cycles the model accounts
+  for incrementals being unusable until their base full has arrived.
+* **worst usable-RP spacing** — when the recovery target falls *within*
+  the level's retained range, the worst-case loss is the largest gap
+  between consecutive usable RP snapshots (the paper's ``accW``).
+* **retention span** — ``(retCnt - 1) * cyclePer``: how far back the
+  level is guaranteed to reach.
+
+The guaranteed range of Figure 3 combines these with the summed
+``holdW + propW`` of the levels an RP traverses to get here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..exceptions import PolicyError
+
+
+@dataclass(frozen=True)
+class RPEvent:
+    """One retrieval point in a policy cycle.
+
+    Parameters
+    ----------
+    offset:
+        Snapshot time of this RP within the cycle, in ``[0, period)``
+        seconds.  The RP reflects the protected data *as of* this
+        instant.
+    hold:
+        Hold window before transmission begins (``holdW``).
+    prop:
+        Propagation window: transmission duration (``propW``).
+    is_full:
+        True for a self-contained RP (a full copy or complete delta
+        chain base); False for an incremental that can only be restored
+        together with the most recent full at or before its snapshot.
+    label:
+        Display label ("full", "incr-3", ...).
+    """
+
+    offset: float
+    hold: float = 0.0
+    prop: float = 0.0
+    is_full: bool = True
+    label: str = "rp"
+
+    def __post_init__(self) -> None:
+        if self.offset < 0 or self.hold < 0 or self.prop < 0:
+            raise PolicyError(
+                f"RP event {self.label!r} windows must be >= 0 "
+                f"(offset={self.offset}, hold={self.hold}, prop={self.prop})"
+            )
+
+    @property
+    def availability_delay(self) -> float:
+        """Delay from snapshot to availability at the level: hold + prop."""
+        return self.hold + self.prop
+
+
+class CycleModel:
+    """One repeating cycle of RP arrivals at a level.
+
+    Parameters
+    ----------
+    period:
+        The cycle period (``cyclePer``), seconds.
+    events:
+        The cycle's RP events; at least one must be a full.
+    retention_count:
+        Number of cycles of RPs simultaneously retained (``retCnt``).
+    """
+
+    def __init__(
+        self,
+        period: float,
+        events: Sequence[RPEvent],
+        retention_count: int,
+    ):
+        if period <= 0:
+            raise PolicyError(f"cycle period must be positive, got {period}")
+        if not events:
+            raise PolicyError("a cycle needs at least one RP event")
+        if retention_count < 1:
+            raise PolicyError(f"retention count must be >= 1, got {retention_count}")
+        ordered = sorted(events, key=lambda e: e.offset)
+        if not any(e.is_full for e in ordered):
+            raise PolicyError("a cycle must contain at least one full RP")
+        for event in ordered:
+            if event.offset >= period:
+                raise PolicyError(
+                    f"RP event {event.label!r} offset {event.offset} falls "
+                    f"outside the cycle period {period}"
+                )
+        self.period = float(period)
+        self.events: Tuple[RPEvent, ...] = tuple(ordered)
+        self.retention_count = int(retention_count)
+
+    # -- unrolling helpers -------------------------------------------------------
+
+    def _unrolled(self, cycles: int) -> "List[Tuple[float, float, RPEvent]]":
+        """(snapshot_time, usable_time, event) for ``cycles`` repetitions.
+
+        ``usable_time`` is when the RP can actually serve a restore: its
+        own availability, or — for an incremental — the later of its own
+        availability and the availability of its base full (the most
+        recent full snapshot at or before it).
+        """
+        raw: "List[Tuple[float, float, RPEvent]]" = []
+        for k in range(cycles):
+            base = k * self.period
+            for event in self.events:
+                snapshot = base + event.offset
+                available = snapshot + event.availability_delay
+                raw.append((snapshot, available, event))
+        raw.sort(key=lambda item: item[0])
+
+        usable: "List[Tuple[float, float, RPEvent]]" = []
+        last_full_available = None
+        for snapshot, available, event in raw:
+            if event.is_full:
+                last_full_available = available
+                usable.append((snapshot, available, event))
+            else:
+                if last_full_available is None:
+                    # Incremental before any full in the unroll window:
+                    # skip — it has no restorable base yet.
+                    continue
+                usable.append((snapshot, max(available, last_full_available), event))
+        return usable
+
+    # -- the three timeline quantities ----------------------------------------------
+
+    def worst_lag(self) -> float:
+        """Worst-case out-of-dateness of the level (its own windows only).
+
+        Scans the usability transitions of an unrolled steady-state
+        schedule: just before an RP becomes usable, the newest usable
+        snapshot is as stale as it ever gets.  For a single full-only
+        event this reduces to the paper's ``accW + holdW + propW``.
+        """
+        entries = self._unrolled(cycles=4)
+        if not entries:
+            raise PolicyError("cycle produced no usable RPs")
+        by_usable = sorted(entries, key=lambda item: item[1])
+        worst = 0.0
+        # Only examine transitions in the steady-state portion (skip the
+        # first cycle's warm-up where no prior RP exists yet).
+        for index, (snapshot, usable_at, _event) in enumerate(by_usable):
+            if usable_at <= self.period:
+                continue
+            newest_before = max(
+                (s for s, u, _e in entries if u < usable_at and s < usable_at),
+                default=None,
+            )
+            if newest_before is None:
+                continue
+            worst = max(worst, usable_at - newest_before)
+        if worst == 0.0:
+            # Degenerate single-RP-per-unroll case: fall back to the
+            # simple formula on the first event.
+            event = self.events[0]
+            worst = self.period + event.availability_delay
+        return worst
+
+    def worst_spacing(self) -> float:
+        """Largest gap between consecutive usable RP *snapshots*.
+
+        This is the worst-case data loss when the recovery target lies
+        within the level's retained range (paper §3.3.3 case 2:
+        "merely accW").
+        """
+        entries = self._unrolled(cycles=3)
+        snapshots = sorted(s for s, _u, _e in entries)
+        if len(snapshots) < 2:
+            return self.period
+        gaps = [b - a for a, b in zip(snapshots, snapshots[1:])]
+        return max(gaps)
+
+    def retention_span(self) -> float:
+        """Guaranteed look-back range: ``(retCnt - 1) * cyclePer``."""
+        return (self.retention_count - 1) * self.period
+
+    # -- availability delays consumed by composition ------------------------------------
+
+    def full_availability_delay(self) -> float:
+        """``holdW + propW`` of the full representation.
+
+        This is the per-level term in the paper's multi-level lag sums
+        (downstream levels receive and forward the full RPs).
+        """
+        fulls = [event for event in self.events if event.is_full]
+        return max(full.availability_delay for full in fulls)
+
+    def arrivals_per_period(self) -> int:
+        """Number of RPs arriving per cycle (``cycleCnt + 1``)."""
+        return len(self.events)
+
+    @classmethod
+    def single(
+        cls,
+        accumulation_window: float,
+        hold_window: float,
+        propagation_window: float,
+        retention_count: int,
+        label: str = "rp",
+    ) -> "CycleModel":
+        """The common one-RP-per-window policy.
+
+        ``cyclePer = accW``; the single event snapshots at the end of
+        each accumulation window.
+        """
+        if accumulation_window <= 0:
+            raise PolicyError(
+                f"accumulation window must be positive, got {accumulation_window}"
+            )
+        return cls(
+            period=accumulation_window,
+            events=[
+                RPEvent(
+                    offset=0.0,
+                    hold=hold_window,
+                    prop=propagation_window,
+                    is_full=True,
+                    label=label,
+                )
+            ],
+            retention_count=retention_count,
+        )

@@ -1,0 +1,40 @@
+"""Workload descriptions and characterization.
+
+A :class:`~repro.workload.spec.Workload` captures the five parameters the
+paper's Table 1 defines for the foreground workload: data capacity,
+average access rate, average (non-unique) update rate, burstiness, and
+the batch update rate curve (unique update rate within a window).
+
+The sub-modules provide:
+
+* :mod:`repro.workload.batch_curve` — the window -> unique-update-rate
+  curve with interpolation between measured sample points;
+* :mod:`repro.workload.spec` — the workload dataclass itself;
+* :mod:`repro.workload.traces` — a lightweight I/O trace representation;
+* :mod:`repro.workload.synthetic` — synthetic bursty trace generation
+  (the substitute for the proprietary *cello* trace, see DESIGN.md);
+* :mod:`repro.workload.characterize` — derive a :class:`Workload` from a
+  trace by measuring rates, burstiness and unique update bytes;
+* :mod:`repro.workload.presets` — ready-made workloads, including
+  :func:`~repro.workload.presets.cello` (the paper's Table 2).
+"""
+
+from .batch_curve import BatchUpdateCurve
+from .spec import Workload
+from .traces import Trace, TraceRecord
+from .synthetic import SyntheticWorkloadConfig, generate_trace
+from .characterize import characterize_trace
+from .presets import cello, oltp_database, web_server
+
+__all__ = [
+    "BatchUpdateCurve",
+    "Workload",
+    "Trace",
+    "TraceRecord",
+    "SyntheticWorkloadConfig",
+    "generate_trace",
+    "characterize_trace",
+    "cello",
+    "oltp_database",
+    "web_server",
+]

@@ -1,0 +1,87 @@
+"""Ready-made workload descriptions.
+
+:func:`cello` is the paper's Table 2 — the measured characteristics of
+HP Labs' *cello* workgroup file server, used throughout the DSN'04 case
+study.  The other presets are plausible enterprise workloads used by the
+examples and the design-automation benches; they are not from the paper.
+"""
+
+from __future__ import annotations
+
+from ..units import GB, KB, MB
+from .batch_curve import BatchUpdateCurve
+from .spec import Workload
+
+
+def cello() -> Workload:
+    """The cello workgroup file server workload (paper Table 2).
+
+    1360 GB of data, 1028 KB/s average access rate, 799 KB/s average
+    update rate, 10x burstiness, and batch update rates of 727 KB/s at a
+    1-minute window, 350 KB/s at 12 hours, and 317 KB/s at 24 hours,
+    48 hours and 1 week.
+    """
+    return Workload(
+        name="cello workgroup file server",
+        data_capacity=1360 * GB,
+        avg_access_rate=1028 * KB,
+        avg_update_rate=799 * KB,
+        burst_multiplier=10.0,
+        batch_curve=BatchUpdateCurve(
+            {
+                "1 min": 727 * KB,
+                "12 hr": 350 * KB,
+                "24 hr": 317 * KB,
+                "48 hr": 317 * KB,
+                "1 wk": 317 * KB,
+            },
+            short_window_rate=799 * KB,
+        ),
+    )
+
+
+def oltp_database() -> Workload:
+    """A write-intensive OLTP database: small hot working set, heavy bursts.
+
+    Used by examples and sensitivity benches; not from the paper.
+    """
+    return Workload(
+        name="OLTP database",
+        data_capacity=500 * GB,
+        avg_access_rate=24 * MB,
+        avg_update_rate=8 * MB,
+        burst_multiplier=20.0,
+        batch_curve=BatchUpdateCurve(
+            {
+                "1 min": 6 * MB,
+                "1 hr": 2 * MB,
+                "12 hr": 800 * KB,
+                "24 hr": 600 * KB,
+                "1 wk": 400 * KB,
+            },
+            short_window_rate=8 * MB,
+        ),
+    )
+
+
+def web_server(data_capacity: float = 2048 * GB) -> Workload:
+    """A read-mostly web/content server: large dataset, few updates.
+
+    Used by examples and sensitivity benches; not from the paper.
+    """
+    return Workload(
+        name="web content server",
+        data_capacity=data_capacity,
+        avg_access_rate=40 * MB,
+        avg_update_rate=512 * KB,
+        burst_multiplier=5.0,
+        batch_curve=BatchUpdateCurve(
+            {
+                "1 min": 480 * KB,
+                "1 hr": 350 * KB,
+                "24 hr": 200 * KB,
+                "1 wk": 120 * KB,
+            },
+            short_window_rate=512 * KB,
+        ),
+    )

@@ -1,0 +1,203 @@
+"""The workload description consumed by the dependability models.
+
+This is the paper's Table 1 "Model inputs: workload" block: data
+capacity, average access rate, average update rate, burstiness and the
+batch update rate curve.  The models deliberately consume only these
+summary statistics — not a raw trace — which is what makes the analytic
+framework fast enough to sit inside an automated design loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..exceptions import WorkloadError
+from ..units import parse_rate, parse_size, format_rate, format_size
+from .batch_curve import BatchUpdateCurve
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A single data object's workload, in the paper's Table 1 vocabulary.
+
+    Parameters
+    ----------
+    name:
+        Human-readable label used in reports.
+    data_capacity:
+        Size of the data object (``dataCap``), bytes or a string
+        (``"1360 GB"``).
+    avg_access_rate:
+        Rate of read *and* write accesses (``avgAccessR``).
+    avg_update_rate:
+        Rate of (non-unique) updates (``avgUpdateR``); must not exceed
+        the access rate, of which it is a component.
+    burst_multiplier:
+        Ratio of peak to average update rate (``burstM``).
+    batch_curve:
+        The unique-update-rate curve (``batchUpdR(win)``).
+
+    Notes
+    -----
+    The paper models a single data object per evaluation ("we assume for
+    simplicity a single data object and workload", section 3.1.1); multiple
+    objects are evaluated by running the framework once per object.
+    """
+
+    name: str
+    data_capacity: float
+    avg_access_rate: float
+    avg_update_rate: float
+    burst_multiplier: float
+    batch_curve: BatchUpdateCurve = field(repr=False)
+
+    def __init__(
+        self,
+        name: str,
+        data_capacity: Union[str, float],
+        avg_access_rate: Union[str, float],
+        avg_update_rate: Union[str, float],
+        burst_multiplier: float,
+        batch_curve: BatchUpdateCurve,
+    ):
+        capacity = parse_size(data_capacity)
+        access_rate = parse_rate(avg_access_rate)
+        update_rate = parse_rate(avg_update_rate)
+        if capacity <= 0:
+            raise WorkloadError(f"data capacity must be positive, got {data_capacity!r}")
+        if access_rate < 0 or update_rate < 0:
+            raise WorkloadError("access and update rates must be >= 0")
+        if update_rate > access_rate:
+            raise WorkloadError(
+                f"average update rate ({format_rate(update_rate)}) cannot exceed "
+                f"the average access rate ({format_rate(access_rate)}): updates "
+                "are a subset of accesses"
+            )
+        if burst_multiplier < 1:
+            raise WorkloadError(
+                f"burst multiplier is peak/average and must be >= 1, "
+                f"got {burst_multiplier}"
+            )
+        if not isinstance(batch_curve, BatchUpdateCurve):
+            raise WorkloadError("batch_curve must be a BatchUpdateCurve")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "data_capacity", capacity)
+        object.__setattr__(self, "avg_access_rate", access_rate)
+        object.__setattr__(self, "avg_update_rate", update_rate)
+        object.__setattr__(self, "burst_multiplier", burst_multiplier)
+        object.__setattr__(self, "batch_curve", batch_curve)
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def peak_update_rate(self) -> float:
+        """Peak (bursty) update rate: ``avgUpdateR * burstM``."""
+        return self.avg_update_rate * self.burst_multiplier
+
+    @property
+    def avg_read_rate(self) -> float:
+        """Read component of the access rate (accesses minus updates)."""
+        return self.avg_access_rate - self.avg_update_rate
+
+    def batch_update_rate(self, window: Union[str, float]) -> float:
+        """``batchUpdR(win)``: unique update rate within the given window."""
+        return self.batch_curve.rate(window)
+
+    def unique_bytes(self, window: Union[str, float]) -> float:
+        """Unique bytes updated during a window, capped by the dataset size.
+
+        No window can touch more unique bytes than the object holds.
+        """
+        return min(self.batch_curve.unique_bytes(window), self.data_capacity)
+
+    def update_fraction(self, window: Union[str, float]) -> float:
+        """Fraction of the dataset uniquely updated within a window."""
+        return self.unique_bytes(window) / self.data_capacity
+
+    def full_coverage_window(self) -> float:
+        """Window length after which unique updates would cover the dataset.
+
+        Uses the largest-window rate for extrapolation; techniques use
+        this to bound how stale a partial copy can get before a full
+        re-copy is cheaper.
+        """
+        largest_window, largest_rate = self.batch_curve.points[-1]
+        if largest_rate == 0:
+            return float("inf")
+        return max(largest_window, self.data_capacity / largest_rate)
+
+    # -- transformations ------------------------------------------------------
+
+    def with_capacity(self, data_capacity: Union[str, float]) -> "Workload":
+        """A copy of this workload with a different dataset size."""
+        return Workload(
+            name=self.name,
+            data_capacity=parse_size(data_capacity),
+            avg_access_rate=self.avg_access_rate,
+            avg_update_rate=self.avg_update_rate,
+            burst_multiplier=self.burst_multiplier,
+            batch_curve=self.batch_curve,
+        )
+
+    def scaled(self, factor: float) -> "Workload":
+        """A copy with all rates (and the batch curve) scaled by ``factor``."""
+        if factor <= 0:
+            raise WorkloadError(f"scale factor must be positive, got {factor}")
+        return Workload(
+            name=f"{self.name} (x{factor:g})",
+            data_capacity=self.data_capacity,
+            avg_access_rate=self.avg_access_rate * factor,
+            avg_update_rate=self.avg_update_rate * factor,
+            burst_multiplier=self.burst_multiplier,
+            batch_curve=self.batch_curve.scaled(factor),
+        )
+
+    def combined(self, other: "Workload", name: Optional[str] = None) -> "Workload":
+        """The consolidation of two objects onto one store.
+
+        Capacities and rates add; unique update bytes add too (the
+        objects are disjoint, so no cross-object coalescing), giving a
+        batch curve sampled at the union of both curves' windows.  The
+        burst multiplier is the capacity-weighted... no — bursts of
+        independent workloads do not align, so the combined peak is
+        bounded by the sum of peaks and below by the larger: this model
+        takes the conservative sum of peak rates over the summed average
+        (peaks coincide in the worst case).
+        """
+        windows = sorted(
+            set(self.batch_curve.sample_windows())
+            | set(other.batch_curve.sample_windows())
+        )
+        points = {
+            window: (
+                self.batch_curve.unique_bytes(window)
+                + other.batch_curve.unique_bytes(window)
+            )
+            / window
+            for window in windows
+        }
+        combined_update = self.avg_update_rate + other.avg_update_rate
+        combined_peak = self.peak_update_rate + other.peak_update_rate
+        burst = combined_peak / combined_update if combined_update > 0 else 1.0
+        return Workload(
+            name=name or f"{self.name} + {other.name}",
+            data_capacity=self.data_capacity + other.data_capacity,
+            avg_access_rate=self.avg_access_rate + other.avg_access_rate,
+            avg_update_rate=combined_update,
+            burst_multiplier=max(burst, 1.0),
+            batch_curve=BatchUpdateCurve(
+                points,
+                short_window_rate=self.batch_curve.short_window_rate
+                + other.batch_curve.short_window_rate,
+            ),
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary (used by reports and the CLI)."""
+        return (
+            f"{self.name}: {format_size(self.data_capacity)}, "
+            f"access {format_rate(self.avg_access_rate)}, "
+            f"update {format_rate(self.avg_update_rate)}, "
+            f"burst {self.burst_multiplier:g}x"
+        )

@@ -1,0 +1,216 @@
+"""Synthetic bursty workload trace generation.
+
+The paper characterizes the *cello* workgroup file server, an HP
+internal trace we cannot redistribute.  Per the substitution policy in
+DESIGN.md, this module generates a synthetic trace whose measured
+characterization exhibits the same qualitative structure as Table 2:
+
+* a mean update rate below the mean access rate,
+* bursty arrivals (peak/mean ratio around the configured multiplier),
+* a batch update rate that *declines* as the window grows, because
+  writes concentrate on a hot subset of blocks and overwrites coalesce.
+
+The generator uses an on/off modulated arrival process for burstiness
+and a two-tier (hot/cold) block popularity model for overwrite locality.
+Both are deliberately simple, reproducible (seeded), and fast (numpy,
+column-wise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+from ..units import GB, KB, MINUTE
+from .traces import Trace
+
+
+@dataclass(frozen=True)
+class SyntheticWorkloadConfig:
+    """Knobs for the synthetic trace generator.
+
+    Parameters
+    ----------
+    data_capacity:
+        Size of the simulated data object, bytes.
+    duration:
+        Trace length, seconds.
+    avg_access_rate / avg_update_rate:
+        Target mean rates, bytes/s.  Updates are a subset of accesses.
+    burst_multiplier:
+        Target peak/mean update rate ratio; implemented as an on/off
+        arrival process whose "on" rate is this multiple of the mean.
+    hot_fraction:
+        Fraction of blocks that form the write-hot set.
+    hot_weight:
+        Fraction of writes that land on the hot set (>= hot_fraction for
+        skew).  High values make overwrites coalesce strongly, driving
+        the long-window batch update rate down — cello-like behaviour.
+    io_size:
+        Bytes per I/O request (block-aligned).
+    block_size:
+        Uniqueness granularity; must divide io_size.
+    """
+
+    data_capacity: float = 64 * GB
+    duration: float = 4 * 3600.0
+    avg_access_rate: float = 1028 * KB
+    avg_update_rate: float = 799 * KB
+    burst_multiplier: float = 10.0
+    hot_fraction: float = 0.02
+    hot_weight: float = 0.85
+    io_size: int = 8192
+    block_size: int = 8192
+    burst_period: float = 10 * MINUTE
+    #: Day/night swing of the update rate, in [0, 1): 0 is flat, 0.8
+    #: means the overnight trough runs at 20% of the daily peak-hour
+    #: mean.  Business workloads (and the paper's 12 h / weekend backup
+    #: windows) are built around this shape.
+    diurnal_amplitude: float = 0.0
+    #: Length of the diurnal cycle; a day, unless compressed for tests.
+    diurnal_period: float = 24 * 3600.0
+
+    def validate(self) -> None:
+        """Raise :class:`WorkloadError` if the configuration is inconsistent."""
+        if self.data_capacity <= 0 or self.duration <= 0:
+            raise WorkloadError("capacity and duration must be positive")
+        if self.avg_update_rate > self.avg_access_rate:
+            raise WorkloadError("update rate cannot exceed access rate")
+        if self.burst_multiplier < 1:
+            raise WorkloadError("burst multiplier must be >= 1")
+        if not 0 < self.hot_fraction < 1:
+            raise WorkloadError("hot_fraction must be in (0, 1)")
+        if not self.hot_fraction <= self.hot_weight <= 1:
+            raise WorkloadError("hot_weight must be in [hot_fraction, 1]")
+        if self.io_size % self.block_size != 0:
+            raise WorkloadError("io_size must be a multiple of block_size")
+        if self.io_size > self.data_capacity:
+            raise WorkloadError("io_size cannot exceed the data capacity")
+        if self.burst_period <= 0:
+            raise WorkloadError("burst_period must be positive")
+        if not 0 <= self.diurnal_amplitude < 1:
+            raise WorkloadError("diurnal_amplitude must be in [0, 1)")
+        if self.diurnal_period <= 0:
+            raise WorkloadError("diurnal_period must be positive")
+
+
+def _diurnal_factor(
+    time: float, amplitude: float, period: float
+) -> float:
+    """Sinusoidal day/night modulation with mean 1.0.
+
+    ``1 + amplitude * sin(...)`` peaks mid-"day" and troughs
+    mid-"night"; amplitude 0 is flat.
+    """
+    if amplitude == 0:
+        return 1.0
+    import math
+
+    return 1.0 + amplitude * math.sin(2.0 * math.pi * time / period)
+
+
+def _on_off_timestamps(
+    rng: np.random.Generator,
+    mean_rate_ios: float,
+    duration: float,
+    burst_multiplier: float,
+    burst_period: float,
+    diurnal_amplitude: float = 0.0,
+    diurnal_period: float = 24 * 3600.0,
+) -> np.ndarray:
+    """Arrival times from an on/off modulated Poisson process.
+
+    During "on" sub-periods the instantaneous rate is ``burst_multiplier``
+    times the (diurnally modulated) mean; "off" sub-periods are silent.
+    The duty cycle ``1/burst_multiplier`` keeps the long-run mean at
+    ``mean_rate_ios`` (the sinusoidal modulation has mean 1).
+    """
+    if mean_rate_ios <= 0:
+        return np.zeros(0)
+    duty_cycle = 1.0 / burst_multiplier
+    timestamps = []
+    period_start = 0.0
+    while period_start < duration:
+        local_mean = mean_rate_ios * _diurnal_factor(
+            period_start + burst_period / 2, diurnal_amplitude, diurnal_period
+        )
+        on_rate = local_mean * burst_multiplier
+        on_length = duty_cycle * burst_period
+        n_expected = on_rate * on_length
+        n_arrivals = rng.poisson(n_expected)
+        if n_arrivals:
+            arrivals = period_start + rng.uniform(0.0, on_length, size=n_arrivals)
+            timestamps.append(arrivals)
+        period_start += burst_period
+    if not timestamps:
+        return np.zeros(0)
+    merged = np.concatenate(timestamps)
+    merged.sort()
+    return merged[merged < duration]
+
+
+def _draw_write_blocks(
+    rng: np.random.Generator,
+    count: int,
+    n_blocks: int,
+    hot_fraction: float,
+    hot_weight: float,
+) -> np.ndarray:
+    """Block indices for writes: hot-set skew drives overwrite coalescing."""
+    n_hot = max(1, int(n_blocks * hot_fraction))
+    is_hot = rng.random(count) < hot_weight
+    blocks = np.empty(count, dtype=np.int64)
+    n_hot_draws = int(is_hot.sum())
+    blocks[is_hot] = rng.integers(0, n_hot, size=n_hot_draws)
+    blocks[~is_hot] = rng.integers(n_hot, n_blocks, size=count - n_hot_draws)
+    return blocks
+
+
+def generate_trace(config: SyntheticWorkloadConfig, seed: int = 0) -> Trace:
+    """Generate a reproducible synthetic trace for the configuration.
+
+    Reads are spread uniformly over the object; writes are skewed toward
+    the hot set.  All accesses are ``io_size`` bytes, block-aligned.
+    """
+    config.validate()
+    rng = np.random.default_rng(seed)
+    n_blocks = int(config.data_capacity // config.block_size)
+    blocks_per_io = config.io_size // config.block_size
+    n_io_slots = max(1, n_blocks // blocks_per_io)
+
+    write_rate_ios = config.avg_update_rate / config.io_size
+    read_rate_ios = (config.avg_access_rate - config.avg_update_rate) / config.io_size
+
+    write_times = _on_off_timestamps(
+        rng, write_rate_ios, config.duration, config.burst_multiplier,
+        config.burst_period, config.diurnal_amplitude, config.diurnal_period,
+    )
+    # Reads are modeled as smooth (Poisson): the paper's burstiness
+    # parameter describes the *update* stream, which is what the data
+    # protection techniques consume.
+    n_reads = rng.poisson(read_rate_ios * config.duration)
+    read_times = np.sort(rng.uniform(0.0, config.duration, size=n_reads))
+
+    write_blocks = _draw_write_blocks(
+        rng, len(write_times), n_io_slots, config.hot_fraction, config.hot_weight
+    )
+    read_blocks = rng.integers(0, n_io_slots, size=len(read_times))
+
+    timestamps = np.concatenate([write_times, read_times])
+    offsets = np.concatenate([write_blocks, read_blocks]) * config.io_size
+    is_write = np.concatenate(
+        [np.ones(len(write_times), dtype=bool), np.zeros(len(read_times), dtype=bool)]
+    )
+    order = np.argsort(timestamps, kind="stable")
+    sizes = np.full(len(timestamps), config.io_size, dtype=np.int64)
+
+    return Trace(
+        timestamps=timestamps[order],
+        offsets=offsets[order],
+        sizes=sizes,
+        is_write=is_write[order],
+        data_capacity=config.data_capacity,
+        block_size=config.block_size,
+    )

@@ -1,0 +1,254 @@
+"""A lightweight block-level I/O trace representation.
+
+The analytic framework itself only consumes workload *statistics*
+(:class:`~repro.workload.spec.Workload`), but deriving those statistics
+from a trace — as the paper's authors did from the *cello* workgroup
+server — is part of the workflow this library supports.  A
+:class:`Trace` is an ordered sequence of :class:`TraceRecord` block
+accesses; :mod:`repro.workload.characterize` turns it into a
+:class:`~repro.workload.spec.Workload`.
+
+Records are stored column-wise in numpy arrays so that week-long traces
+with tens of millions of events remain tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import WorkloadError
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One block access: timestamp (s), byte offset, byte count, direction."""
+
+    timestamp: float
+    offset: int
+    size: int
+    is_write: bool
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 0:
+            raise WorkloadError(f"timestamp must be >= 0, got {self.timestamp}")
+        if self.offset < 0:
+            raise WorkloadError(f"offset must be >= 0, got {self.offset}")
+        if self.size <= 0:
+            raise WorkloadError(f"size must be positive, got {self.size}")
+
+    @property
+    def end(self) -> int:
+        """Byte offset one past the last byte touched."""
+        return self.offset + self.size
+
+
+class Trace:
+    """An ordered collection of block accesses over a data object.
+
+    Parameters
+    ----------
+    timestamps, offsets, sizes, is_write:
+        Parallel arrays describing the accesses.  Timestamps must be
+        non-decreasing.
+    data_capacity:
+        Size of the traced data object in bytes; accesses must fit.
+    block_size:
+        Granularity at which uniqueness is tracked (copy-on-write and
+        batching operate on blocks, not bytes).
+    """
+
+    def __init__(
+        self,
+        timestamps: Sequence[float],
+        offsets: Sequence[int],
+        sizes: Sequence[int],
+        is_write: Sequence[bool],
+        data_capacity: float,
+        block_size: int = 8192,
+    ):
+        self.timestamps = np.asarray(timestamps, dtype=np.float64)
+        self.offsets = np.asarray(offsets, dtype=np.int64)
+        self.sizes = np.asarray(sizes, dtype=np.int64)
+        self.is_write = np.asarray(is_write, dtype=bool)
+        lengths = {
+            len(self.timestamps),
+            len(self.offsets),
+            len(self.sizes),
+            len(self.is_write),
+        }
+        if len(lengths) != 1:
+            raise WorkloadError("trace column arrays must have equal length")
+        if data_capacity <= 0:
+            raise WorkloadError(f"data capacity must be positive, got {data_capacity}")
+        if block_size <= 0:
+            raise WorkloadError(f"block size must be positive, got {block_size}")
+        if len(self.timestamps) and np.any(np.diff(self.timestamps) < 0):
+            raise WorkloadError("trace timestamps must be non-decreasing")
+        if len(self.sizes) and np.any(self.sizes <= 0):
+            raise WorkloadError("trace record sizes must be positive")
+        if len(self.offsets) and (
+            np.any(self.offsets < 0)
+            or np.any(self.offsets + self.sizes > data_capacity)
+        ):
+            raise WorkloadError("trace accesses must lie within the data object")
+        self.data_capacity = float(data_capacity)
+        self.block_size = int(block_size)
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[TraceRecord],
+        data_capacity: float,
+        block_size: int = 8192,
+    ) -> "Trace":
+        """Build a trace from an iterable of :class:`TraceRecord`."""
+        materialized = list(records)
+        return cls(
+            timestamps=[r.timestamp for r in materialized],
+            offsets=[r.offset for r in materialized],
+            sizes=[r.size for r in materialized],
+            is_write=[r.is_write for r in materialized],
+            data_capacity=data_capacity,
+            block_size=block_size,
+        )
+
+    # -- basic shape ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.timestamps)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for i in range(len(self)):
+            yield TraceRecord(
+                timestamp=float(self.timestamps[i]),
+                offset=int(self.offsets[i]),
+                size=int(self.sizes[i]),
+                is_write=bool(self.is_write[i]),
+            )
+
+    @property
+    def duration(self) -> float:
+        """Trace length in seconds (last timestamp; traces start at 0)."""
+        if len(self) == 0:
+            return 0.0
+        return float(self.timestamps[-1])
+
+    # -- aggregate statistics ---------------------------------------------------
+
+    def total_bytes(self) -> float:
+        """Total bytes accessed (reads + writes)."""
+        return float(self.sizes.sum())
+
+    def written_bytes(self) -> float:
+        """Total bytes written (non-unique)."""
+        return float(self.sizes[self.is_write].sum())
+
+    def read_bytes(self) -> float:
+        """Total bytes read."""
+        return float(self.sizes[~self.is_write].sum())
+
+    def write_blocks(self) -> np.ndarray:
+        """Block index of each written record's first byte.
+
+        Records are assumed block-aligned by the synthetic generator; for
+        unaligned records the first block is a good proxy at the
+        characterization granularity.
+        """
+        return self.offsets[self.is_write] // self.block_size
+
+    def unique_written_bytes(self, start: float, end: float) -> float:
+        """Unique bytes (block-granular) written within ``[start, end)``."""
+        if end <= start:
+            return 0.0
+        lo = np.searchsorted(self.timestamps, start, side="left")
+        hi = np.searchsorted(self.timestamps, end, side="left")
+        mask = self.is_write[lo:hi]
+        blocks = self.offsets[lo:hi][mask] // self.block_size
+        return float(len(np.unique(blocks))) * self.block_size
+
+    def slice(self, start: float, end: float) -> "Trace":
+        """The sub-trace with timestamps in ``[start, end)``, re-zeroed."""
+        lo = np.searchsorted(self.timestamps, start, side="left")
+        hi = np.searchsorted(self.timestamps, end, side="left")
+        return Trace(
+            timestamps=self.timestamps[lo:hi] - start,
+            offsets=self.offsets[lo:hi],
+            sizes=self.sizes[lo:hi],
+            is_write=self.is_write[lo:hi],
+            data_capacity=self.data_capacity,
+            block_size=self.block_size,
+        )
+
+    # -- persistence ------------------------------------------------------------
+
+    def save_csv(self, path: str) -> None:
+        """Write the trace as CSV: ``timestamp,offset,size,is_write``.
+
+        A two-line header records the object capacity and block size so
+        :meth:`load_csv` can round-trip the trace exactly.
+        """
+        with open(path, "w") as handle:
+            handle.write(f"# data_capacity={self.data_capacity:.0f} "
+                         f"block_size={self.block_size}\n")
+            handle.write("timestamp,offset,size,is_write\n")
+            for i in range(len(self)):
+                handle.write(
+                    f"{self.timestamps[i]:.6f},{self.offsets[i]},"
+                    f"{self.sizes[i]},{int(self.is_write[i])}\n"
+                )
+
+    @classmethod
+    def load_csv(cls, path: str) -> "Trace":
+        """Read a trace written by :meth:`save_csv`."""
+        with open(path) as handle:
+            header = handle.readline().strip()
+            if not header.startswith("#"):
+                raise WorkloadError(
+                    f"{path}: missing '# data_capacity=... block_size=...' header"
+                )
+            try:
+                fields = dict(
+                    item.split("=") for item in header.lstrip("# ").split()
+                )
+                data_capacity = float(fields["data_capacity"])
+                block_size = int(fields["block_size"])
+            except (KeyError, ValueError) as exc:
+                raise WorkloadError(f"{path}: malformed header: {exc}") from None
+            column_line = handle.readline().strip()
+            if column_line != "timestamp,offset,size,is_write":
+                raise WorkloadError(f"{path}: unexpected column header")
+            body = handle.read().strip()
+        if not body:
+            return cls([], [], [], [], data_capacity=data_capacity,
+                       block_size=block_size)
+        data = np.loadtxt(body.splitlines(), delimiter=",", ndmin=2)
+        if data.size == 0:
+            return cls([], [], [], [], data_capacity=data_capacity,
+                       block_size=block_size)
+        return cls(
+            timestamps=data[:, 0],
+            offsets=data[:, 1].astype(np.int64),
+            sizes=data[:, 2].astype(np.int64),
+            is_write=data[:, 3].astype(bool),
+            data_capacity=data_capacity,
+            block_size=block_size,
+        )
+
+    def rate_per_interval(self, interval: float, writes_only: bool = False) -> np.ndarray:
+        """Access (or write) rate in bytes/s for consecutive intervals.
+
+        Used for burstiness measurement: ``burstM`` is the peak interval
+        rate over the mean interval rate.
+        """
+        if interval <= 0:
+            raise WorkloadError(f"interval must be positive, got {interval}")
+        if len(self) == 0:
+            return np.zeros(0)
+        mask = self.is_write if writes_only else np.ones(len(self), dtype=bool)
+        bucket = (self.timestamps[mask] / interval).astype(np.int64)
+        n_buckets = int(self.duration // interval) + 1
+        sums = np.bincount(bucket, weights=self.sizes[mask], minlength=n_buckets)
+        return sums / interval

@@ -1,0 +1,192 @@
+"""Trade-off analysis (Pareto frontier), availability, propagation rates."""
+
+import pytest
+
+from repro import casestudy
+from repro.design import (
+    FailureFrequencies,
+    dominated_by,
+    expected_availability,
+    pareto_frontier,
+    run_whatif,
+)
+from repro.exceptions import DesignError
+from repro.techniques import (
+    Backup,
+    BatchedAsyncMirror,
+    IncrementalKind,
+    IncrementalPolicy,
+    RemoteVaulting,
+    SplitMirror,
+    SyncMirror,
+    VirtualSnapshot,
+)
+from repro.units import HOUR, WEEK
+from repro.workload.presets import cello
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return cello()
+
+
+@pytest.fixture(scope="module")
+def requirements():
+    return casestudy.case_study_requirements()
+
+
+@pytest.fixture(scope="module")
+def table7_results(workload, requirements):
+    scenarios = [
+        casestudy.array_failure_scenario(),
+        casestudy.site_failure_scenario(),
+    ]
+    designs = {
+        "baseline": casestudy.baseline_design,
+        "weekly vault, daily F": casestudy.weekly_vault_daily_fulls_design,
+        "weekly vault, daily F, snapshot":
+            casestudy.weekly_vault_daily_fulls_snapshot_design,
+        "asyncB mirror, 1 link": lambda: casestudy.async_batch_mirror_design(1),
+        "asyncB mirror, 10 links": lambda: casestudy.async_batch_mirror_design(10),
+    }
+    return run_whatif(designs, workload, scenarios, requirements)
+
+
+class TestParetoFrontier:
+    def test_snapshot_dominates_split_mirror_variant(self, table7_results):
+        """Same RT/DL, strictly cheaper: the split-mirror daily-F design
+        must be off the frontier while its snapshot twin stays on."""
+        frontier_names = {r.design_name for r in pareto_frontier(table7_results)}
+        assert "weekly vault, daily F, snapshot" in frontier_names
+        assert "weekly vault, daily F" not in frontier_names
+
+    def test_mirror_designs_on_frontier(self, table7_results):
+        """1 link: cheapest with minute-scale loss; 10 links: fastest.
+        Neither can be dominated."""
+        frontier_names = {r.design_name for r in pareto_frontier(table7_results)}
+        assert "asyncB mirror, 1 link" in frontier_names
+        assert "asyncB mirror, 10 links" in frontier_names
+
+    def test_dominated_by_names_the_dominators(self, table7_results):
+        daily = next(
+            r for r in table7_results if r.design_name == "weekly vault, daily F"
+        )
+        dominators = dominated_by(daily, table7_results)
+        assert any(
+            d.design_name == "weekly vault, daily F, snapshot" for d in dominators
+        )
+
+    def test_frontier_member_has_no_dominators(self, table7_results):
+        for result in pareto_frontier(table7_results):
+            assert dominated_by(result, table7_results) == []
+
+    def test_empty_rejected(self):
+        with pytest.raises(DesignError):
+            pareto_frontier([])
+
+
+class TestAvailability:
+    def test_availability_from_frequencies(self, workload, requirements):
+        frequencies = FailureFrequencies(
+            [
+                (casestudy.array_failure_scenario(), 0.5),
+                (casestudy.site_failure_scenario(), 0.01),
+            ]
+        )
+        summary = expected_availability(
+            casestudy.baseline_design, workload, frequencies, requirements
+        )
+        # 0.5 * ~2.4 h + 0.01 * ~26.4 h of expected downtime per year.
+        assert summary.expected_annual_downtime == pytest.approx(
+            0.5 * 2.4 * HOUR + 0.01 * 26.4 * HOUR, rel=0.05
+        )
+        assert 0.999 < summary.availability < 1.0
+        assert summary.nines > 3.0
+
+    def test_zero_rates_give_perfect_availability(self, workload, requirements):
+        frequencies = FailureFrequencies(
+            [(casestudy.array_failure_scenario(), 0.0)]
+        )
+        summary = expected_availability(
+            casestudy.baseline_design, workload, frequencies, requirements
+        )
+        assert summary.availability == 1.0
+        assert summary.nines == float("inf")
+
+    def test_faster_recovery_more_nines(self, workload, requirements):
+        frequencies = FailureFrequencies(
+            [(casestudy.array_failure_scenario(), 1.0)]
+        )
+        slow = expected_availability(
+            lambda: casestudy.async_batch_mirror_design(1),
+            workload, frequencies, requirements, design_name="slow",
+        )
+        fast = expected_availability(
+            lambda: casestudy.async_batch_mirror_design(10),
+            workload, frequencies, requirements, design_name="fast",
+        )
+        assert fast.nines > slow.nines
+
+
+class TestAveragePropagationRates:
+    """§3.2.3 consistency: long-run average transfer never exceeds the
+    provisioned (peak) bandwidth demand each technique registers."""
+
+    def test_backup_average_below_provisioned(self, workload):
+        backup = Backup("1 wk", "48 hr", "1 hr", 4)
+        average = backup.average_propagation_rate(workload)
+        provisioned = backup.required_bandwidth(workload)
+        assert average < provisioned
+        # Fulls move the dataset once a week but are sized to move it in
+        # 48 h: the ratio is exactly propW / cyclePer.
+        assert average / provisioned == pytest.approx(48.0 / 168.0)
+
+    def test_backup_with_incrementals(self, workload):
+        backup = Backup(
+            "48 hr", "48 hr", "1 hr", 4,
+            incremental=IncrementalPolicy(
+                IncrementalKind.CUMULATIVE, 5, "24 hr", "12 hr", "1 hr"
+            ),
+        )
+        per_cycle = backup.propagated_bytes_per_cycle(workload)
+        assert per_cycle == pytest.approx(backup.cycle_bytes(workload))
+        assert backup.average_propagation_rate(workload) <= (
+            backup.required_bandwidth(workload)
+        )
+
+    def test_batched_mirror_average_equals_demand_at_full_duty(self, workload):
+        """With propW == accW the link never idles: average == demand."""
+        mirror = BatchedAsyncMirror("1 min")
+        assert mirror.average_propagation_rate(workload) == pytest.approx(
+            mirror.interconnect_demand(workload)
+        )
+
+    def test_sync_mirror_average_is_update_rate(self, workload):
+        sync = SyncMirror()
+        assert sync.average_propagation_rate(workload) == pytest.approx(
+            workload.avg_update_rate
+        )
+        # ...while the provisioned demand covers the burst peak.
+        assert sync.interconnect_demand(workload) == pytest.approx(
+            workload.peak_update_rate
+        )
+
+    def test_vaulting_average_tiny(self, workload):
+        vaulting = RemoteVaulting("4 wk", "24 hr", 4 * WEEK + 12 * HOUR, 39)
+        # One full per four weeks: ~0.6 MB/s equivalent.
+        assert vaulting.average_propagation_rate(workload) == pytest.approx(
+            workload.data_capacity / (4 * WEEK)
+        )
+
+    def test_split_mirror_average_is_resilver_volume(self, workload):
+        mirror = SplitMirror("12 hr", 4)
+        expected = workload.unique_bytes(5 * 12 * HOUR) / (12 * HOUR)
+        assert mirror.average_propagation_rate(workload) == pytest.approx(expected)
+        # Bandwidth demand counts the read AND the write: exactly 2x.
+        assert mirror.resilver_bandwidth(workload) == pytest.approx(2 * expected)
+
+    def test_snapshot_average_is_delta_rate(self, workload):
+        snapshot = VirtualSnapshot("12 hr", 4)
+        assert snapshot.average_propagation_rate(workload) == pytest.approx(
+            workload.unique_bytes(12 * HOUR) / (12 * HOUR)
+        )

@@ -1,0 +1,241 @@
+"""Integration: the full DSN'04 case study, checked against the paper.
+
+These tests pin the framework's end-to-end numbers to the paper's
+Tables 5, 6 and 7 (within the tolerances recorded in EXPERIMENTS.md).
+"""
+
+import pytest
+
+from repro import casestudy, evaluate, evaluate_scenarios
+from repro.scenarios import FailureScenario
+from repro.scenarios.locations import PRIMARY_SITE
+from repro.units import GB, HOUR, MB, TB
+from repro.workload.presets import cello
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return cello()
+
+
+@pytest.fixture(scope="module")
+def requirements():
+    return casestudy.case_study_requirements()
+
+
+@pytest.fixture(scope="module")
+def baseline_results(workload, requirements):
+    return evaluate_scenarios(
+        casestudy.baseline_design(),
+        workload,
+        casestudy.case_study_scenarios(),
+        requirements,
+    )
+
+
+def result(results, word):
+    for key, value in results.items():
+        if word in key:
+            return value
+    raise KeyError(word)
+
+
+class TestTable5Utilization:
+    """Normal-mode bandwidth and capacity utilization of the baseline."""
+
+    def test_array_utilization(self, baseline_results):
+        util = next(iter(baseline_results.values())).utilization
+        array = util.device("primary-array")
+        assert array.bandwidth_utilization == pytest.approx(0.024, abs=0.002)
+        assert array.capacity_utilization == pytest.approx(0.874, abs=0.005)
+        # The parenthesized numbers of Table 5: 12.4 MB/s and 8.0 TB.
+        assert array.bandwidth_demand == pytest.approx(12.4 * MB, rel=0.03)
+        assert array.capacity_demand_logical == pytest.approx(
+            6 * 1360 * GB, rel=0.001
+        )
+
+    def test_array_per_technique_shares(self, baseline_results):
+        util = next(iter(baseline_results.values())).utilization
+        shares = {
+            t.technique: t for t in util.device("primary-array").by_technique
+        }
+        assert shares["foreground workload"].bandwidth_utilization == pytest.approx(
+            0.002, abs=0.0005
+        )
+        assert shares["foreground workload"].capacity_utilization == pytest.approx(
+            0.146, abs=0.002
+        )
+        assert shares["split mirror"].bandwidth_utilization == pytest.approx(
+            0.006, abs=0.001
+        )
+        assert shares["split mirror"].capacity_utilization == pytest.approx(
+            0.728, abs=0.003
+        )
+        assert shares["backup"].bandwidth_utilization == pytest.approx(
+            0.016, abs=0.002
+        )
+        assert shares["backup"].capacity_utilization == 0.0
+
+    def test_tape_library_utilization(self, baseline_results):
+        util = next(iter(baseline_results.values())).utilization
+        library = util.device("tape-library")
+        assert library.bandwidth_utilization == pytest.approx(0.034, abs=0.002)
+        assert library.capacity_utilization == pytest.approx(0.034, abs=0.002)
+        assert library.bandwidth_demand == pytest.approx(8.1 * MB, rel=0.02)
+        assert library.capacity_demand_logical == pytest.approx(6.6 * TB, rel=0.02)
+
+    def test_vault_utilization(self, baseline_results):
+        util = next(iter(baseline_results.values())).utilization
+        vault = util.device("vault")
+        assert vault.capacity_utilization == pytest.approx(0.026, abs=0.002)
+        assert vault.capacity_demand_logical == pytest.approx(51.8 * TB, rel=0.02)
+        assert vault.bandwidth_utilization == 0.0
+
+    def test_global_maxima(self, baseline_results):
+        util = next(iter(baseline_results.values())).utilization
+        assert util.max_capacity_device == "primary-array"
+        assert util.max_bandwidth_device == "tape-library"
+        assert util.feasible
+
+
+class TestTable6Dependability:
+    """Worst-case recovery time and recent data loss per scenario."""
+
+    def test_object_failure(self, baseline_results):
+        a = result(baseline_results, "object")
+        assert a.data_loss.source_name == "split mirror"
+        assert a.recovery_time == pytest.approx(0.004, rel=0.15)
+        assert a.recent_data_loss == pytest.approx(12 * HOUR)
+
+    def test_array_failure(self, baseline_results):
+        a = result(baseline_results, "array")
+        assert a.data_loss.source_name == "backup"
+        # Paper: 2.4 h (their tech-report constants); ours: 1.7 h.  Both
+        # transfer-dominated; EXPERIMENTS.md records the gap.
+        assert 1 * HOUR < a.recovery_time < 3 * HOUR
+        assert a.recent_data_loss == pytest.approx(217 * HOUR)
+
+    def test_site_failure(self, baseline_results):
+        a = result(baseline_results, "site")
+        assert a.data_loss.source_name == "remote vaulting"
+        # Paper: 26.4 h; ours 25.7 h (same structure: 24 h shipment +
+        # restore, 9 h provisioning overlapped).
+        assert a.recovery_time == pytest.approx(26 * HOUR, rel=0.05)
+        assert a.recent_data_loss == pytest.approx(1429 * HOUR)
+
+    def test_recovery_ordering(self, baseline_results):
+        times = [a.recovery_time for a in baseline_results.values()]
+        assert times[0] < times[1] < times[2]
+
+
+class TestFigure5Costs:
+    def test_penalties_dominate_hardware_failures(self, baseline_results):
+        for word in ("array", "site"):
+            a = result(baseline_results, word)
+            assert a.costs.total_penalties > 5 * a.costs.total_outlays
+
+    def test_loss_penalty_dominates_outage_penalty(self, baseline_results):
+        for word in ("array", "site"):
+            a = result(baseline_results, word)
+            assert a.costs.loss_penalty > 10 * a.costs.outage_penalty
+
+    def test_totals_near_paper(self, baseline_results):
+        # Paper: $11.94M (array), $71.94M (site).
+        assert result(baseline_results, "array").total_cost == pytest.approx(
+            11.94e6, rel=0.1
+        )
+        assert result(baseline_results, "site").total_cost == pytest.approx(
+            71.94e6, rel=0.1
+        )
+
+
+class TestTable7WhatIfs:
+    @pytest.fixture(scope="class")
+    def table7(self, workload, requirements):
+        scenarios = [
+            casestudy.array_failure_scenario(),
+            casestudy.site_failure_scenario(),
+        ]
+        rows = {}
+        for name, design in casestudy.all_table7_designs().items():
+            rows[name] = list(
+                evaluate_scenarios(design, workload, scenarios, requirements).values()
+            )
+        return rows
+
+    def test_weekly_vault_cuts_site_loss(self, table7):
+        base_site = table7["baseline"][1]
+        weekly_site = table7["weekly vault"][1]
+        assert base_site.recent_data_loss == pytest.approx(1429 * HOUR)
+        assert weekly_site.recent_data_loss == pytest.approx(253 * HOUR)
+
+    def test_incrementals_cut_array_loss(self, table7):
+        fi_array = table7["weekly vault, F+I"][0]
+        assert fi_array.recent_data_loss == pytest.approx(73 * HOUR)
+        # ... at slightly higher recovery time than the baseline (the
+        # incremental must be restored on top of the full).
+        assert fi_array.recovery_time > table7["baseline"][0].recovery_time
+
+    def test_daily_fulls_cut_loss_further(self, table7):
+        daily_array = table7["weekly vault, daily F"][0]
+        assert daily_array.recent_data_loss == pytest.approx(37 * HOUR)
+        daily_site = table7["weekly vault, daily F"][1]
+        assert daily_site.recent_data_loss == pytest.approx(217 * HOUR)
+
+    def test_snapshots_cheapest_tape_design(self, table7):
+        snap = table7["weekly vault, daily F, snapshot"][0]
+        daily = table7["weekly vault, daily F"][0]
+        assert snap.costs.total_outlays < daily.costs.total_outlays
+        # Same dependability, lower cost.
+        assert snap.recent_data_loss == daily.recent_data_loss
+
+    def test_mirroring_slashes_data_loss(self, table7):
+        one_link = table7["asyncB mirror, 1 link"][0]
+        assert one_link.recent_data_loss == pytest.approx(120.0)  # ~0.03 h
+
+    def test_single_link_mirror_is_cheapest_total(self, table7):
+        """The paper's 'ironic' headline: 1-link mirroring wins on total
+        cost despite its long recovery."""
+        one_link_totals = [a.total_cost for a in table7["asyncB mirror, 1 link"]]
+        for name, assessments in table7.items():
+            if name == "asyncB mirror, 1 link":
+                continue
+            for scenario_index, assessment in enumerate(assessments):
+                assert one_link_totals[scenario_index] < assessment.total_cost
+
+    def test_ten_links_cut_recovery_time(self, table7):
+        one = table7["asyncB mirror, 1 link"][0]
+        ten = table7["asyncB mirror, 10 links"][0]
+        assert ten.recovery_time < one.recovery_time / 5
+        assert ten.costs.total_outlays > 4 * one.costs.total_outlays
+
+    def test_all_designs_feasible(self, table7):
+        for assessments in table7.values():
+            for a in assessments:
+                assert a.utilization.feasible
+
+
+class TestEvaluateSingle:
+    def test_evaluate_matches_evaluate_scenarios(self, workload, requirements):
+        single = evaluate(
+            casestudy.baseline_design(),
+            workload,
+            FailureScenario.array_failure("primary-array"),
+            requirements,
+        )
+        assert single.recent_data_loss == pytest.approx(217 * HOUR)
+        assert single.summary()
+
+    def test_objectives_reported(self, workload):
+        from repro.scenarios import BusinessRequirements
+
+        strict = BusinessRequirements.per_hour(
+            50_000, 50_000, rto="1 hr", rpo="1 hr"
+        )
+        a = evaluate(
+            casestudy.baseline_design(),
+            workload,
+            FailureScenario.array_failure("primary-array"),
+            strict,
+        )
+        assert not a.meets_objectives

@@ -1,0 +1,104 @@
+"""Trace characterization: measuring a trace back into Table 2 parameters."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.units import GB, MB, MINUTE
+from repro.workload import (
+    SyntheticWorkloadConfig,
+    Trace,
+    characterize_trace,
+    generate_trace,
+)
+from repro.workload.characterize import (
+    measure_batch_update_rate,
+    measure_burstiness,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return SyntheticWorkloadConfig(
+        data_capacity=1 * GB,
+        duration=3600.0,
+        avg_access_rate=4 * MB,
+        avg_update_rate=2 * MB,
+        burst_multiplier=5.0,
+        burst_period=120.0,
+        hot_fraction=0.05,
+        hot_weight=0.9,
+    )
+
+
+@pytest.fixture(scope="module")
+def trace(config):
+    return generate_trace(config, seed=11)
+
+
+class TestMeasurements:
+    def test_batch_rate_declines_with_window(self, trace):
+        """The cello-shaped signature: coalescing lowers the unique rate."""
+        short = measure_batch_update_rate(trace, "1 min")
+        long = measure_batch_update_rate(trace, "30 min")
+        assert long < short
+
+    def test_batch_rate_window_longer_than_trace_rejected(self, trace):
+        with pytest.raises(WorkloadError):
+            measure_batch_update_rate(trace, "2 hr")
+
+    def test_burstiness_at_least_one(self, trace):
+        assert measure_burstiness(trace) >= 1.0
+
+    def test_burstiness_read_only_trace_is_one(self):
+        read_only = Trace(
+            timestamps=[0.0, 1.0, 2.0],
+            offsets=[0, 0, 0],
+            sizes=[4096] * 3,
+            is_write=[False] * 3,
+            data_capacity=1 * GB,
+        )
+        assert measure_burstiness(read_only) == 1.0
+
+
+class TestCharacterize:
+    def test_round_trip_rates(self, config, trace):
+        workload = characterize_trace(
+            trace, windows=["1 min", "10 min", "30 min"], name="measured"
+        )
+        assert workload.avg_access_rate == pytest.approx(
+            config.avg_access_rate, rel=0.15
+        )
+        assert workload.avg_update_rate == pytest.approx(
+            config.avg_update_rate, rel=0.15
+        )
+
+    def test_round_trip_burstiness_direction(self, config, trace):
+        workload = characterize_trace(trace, windows=["1 min"])
+        # The measured peak/mean should reflect the bursty generator.
+        assert workload.burst_multiplier > 1.5
+
+    def test_batch_curve_is_monotone(self, trace):
+        workload = characterize_trace(trace, windows=["1 min", "5 min", "20 min"])
+        r1 = workload.batch_update_rate("1 min")
+        r2 = workload.batch_update_rate("5 min")
+        r3 = workload.batch_update_rate("20 min")
+        assert r1 >= r2 >= r3
+
+    def test_burst_override(self, trace):
+        workload = characterize_trace(
+            trace, windows=["1 min"], burst_multiplier=10.0
+        )
+        assert workload.burst_multiplier == 10.0
+
+    def test_empty_trace_rejected(self):
+        empty = Trace([], [], [], [], data_capacity=1 * GB)
+        with pytest.raises(WorkloadError):
+            characterize_trace(empty, windows=["1 min"])
+
+    def test_no_windows_rejected(self, trace):
+        with pytest.raises(WorkloadError):
+            characterize_trace(trace, windows=[])
+
+    def test_capacity_carried_over(self, config, trace):
+        workload = characterize_trace(trace, windows=["1 min"])
+        assert workload.data_capacity == config.data_capacity

@@ -1,0 +1,79 @@
+"""ASCII bar charts."""
+
+import pytest
+
+from repro.reporting import bar_chart, stacked_bar_chart
+
+
+class TestBarChart:
+    def test_bars_scale_to_largest(self):
+        chart = bar_chart({"a": 10, "b": 20}, width=10)
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_title(self):
+        chart = bar_chart({"a": 1}, title="T")
+        assert chart.splitlines()[0] == "T"
+
+    def test_zero_values(self):
+        chart = bar_chart({"a": 0, "b": 0})
+        assert "#" not in chart
+
+    def test_small_nonzero_gets_one_glyph(self):
+        chart = bar_chart({"tiny": 1, "huge": 10_000}, width=10)
+        assert chart.splitlines()[0].count("#") == 1
+
+    def test_infinite_value(self):
+        chart = bar_chart({"a": 5, "boom": float("inf")}, width=10)
+        assert "unbounded" in chart
+        assert chart.splitlines()[1].count("#") == 10
+
+    def test_custom_formatter(self):
+        chart = bar_chart({"a": 1500}, formatter=lambda v: f"${v / 1e3:.1f}K")
+        assert "$1.5K" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 1}, width=0)
+
+
+class TestStackedBarChart:
+    def test_segments_use_distinct_glyphs(self):
+        chart = stacked_bar_chart(
+            {"row": {"x": 10, "y": 10}},
+            segment_order=["x", "y"],
+            width=10,
+        )
+        bar_line = chart.splitlines()[0]
+        assert "#" in bar_line and "=" in bar_line
+
+    def test_legend_present(self):
+        chart = stacked_bar_chart(
+            {"row": {"x": 1}}, segment_order=["x"]
+        )
+        assert "legend" in chart and "#=x" in chart
+
+    def test_rows_scale_to_largest_total(self):
+        chart = stacked_bar_chart(
+            {"small": {"x": 5}, "big": {"x": 10}},
+            segment_order=["x"],
+            width=10,
+        )
+        lines = chart.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_missing_segment_is_skipped(self):
+        chart = stacked_bar_chart(
+            {"row": {"x": 10}}, segment_order=["x", "y"], width=10
+        )
+        assert "=" not in chart.splitlines()[0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bar_chart({}, segment_order=[])

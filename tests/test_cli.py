@@ -1,0 +1,146 @@
+"""The command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCaseStudyCommand:
+    def test_prints_all_tables(self, capsys):
+        assert main(["case-study"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 5" in out
+        assert "Table 6" in out
+        assert "Figure 5" in out
+        assert "Table 7" in out
+        assert "87.3%" in out
+        assert "asyncB mirror, 1 link" in out
+
+
+class TestListDesigns:
+    def test_lists_seven(self, capsys):
+        assert main(["list-designs"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 7
+
+
+class TestOptimizeCommand:
+    def test_unconstrained_picks_single_link(self, capsys):
+        assert main(["optimize"]) == 0
+        out = capsys.readouterr().out
+        assert "best: asyncB-1link" in out
+        assert "Ranking" in out
+
+    def test_objectives_change_the_winner(self, capsys):
+        assert main(["optimize", "--rto", "12 hr", "--rpo", "10 hr"]) == 0
+        out = capsys.readouterr().out
+        assert "best: asyncB-10link" in out
+
+    def test_impossible_objectives_exit_one(self, capsys):
+        assert main(["optimize", "--rto", "1 s", "--rpo", "1 s"]) == 1
+        assert "no feasible" in capsys.readouterr().out
+
+    def test_spec_file_inputs(self, tmp_path, capsys):
+        import json as json_module
+
+        path = tmp_path / "opt.json"
+        path.write_text(
+            json_module.dumps(
+                {
+                    "workload": "cello",
+                    "scenarios": ["array"],
+                    "requirements": {
+                        "unavailability_per_hour": 50000,
+                        "loss_per_hour": 50000,
+                    },
+                }
+            )
+        )
+        assert main(["optimize", str(path)]) == 0
+
+
+class TestEvaluateCommand:
+    def write_spec(self, tmp_path, spec):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_named_design_spec(self, tmp_path, capsys):
+        path = self.write_spec(
+            tmp_path,
+            {
+                "workload": "cello",
+                "design": "baseline",
+                "scenarios": ["object", "array", "site"],
+                "requirements": {
+                    "unavailability_per_hour": 50000,
+                    "loss_per_hour": 50000,
+                },
+            },
+        )
+        assert main(["evaluate", path]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "recovery time" in out
+
+    def test_objective_violation_exit_code(self, tmp_path, capsys):
+        path = self.write_spec(
+            tmp_path,
+            {
+                "design": "baseline",
+                "scenarios": ["array"],
+                "requirements": {
+                    "unavailability_per_hour": 50000,
+                    "loss_per_hour": 50000,
+                    "rpo": "1 hr",
+                },
+            },
+        )
+        assert main(["evaluate", path]) == 1
+        assert "WARNING" in capsys.readouterr().out
+
+    def test_custom_design_spec(self, tmp_path, capsys):
+        path = self.write_spec(
+            tmp_path,
+            {
+                "workload": "oltp",
+                "design": {
+                    "name": "mirror-only",
+                    "recovery_facility": {
+                        "type": "shared",
+                        "provisioning_time": "9 hr",
+                        "discount": 0.2,
+                    },
+                    "levels": [
+                        {
+                            "technique": {"kind": "primary"},
+                            "store": {"catalog": "midrange_disk_array"},
+                        },
+                        {
+                            "technique": {"kind": "batched_async_mirror"},
+                            "store": {
+                                "catalog": "midrange_disk_array",
+                                "name": "mirror-array",
+                                "location": {"region": "r2", "site": "dr"},
+                            },
+                            "transport": {"catalog": "oc3_links",
+                                          "link_count": 4},
+                        },
+                    ],
+                },
+                "scenarios": ["array"],
+            },
+        )
+        assert main(["evaluate", path]) == 0
+        assert "mirror-only" in capsys.readouterr().out
+
+    def test_bad_spec_reports_error(self, tmp_path, capsys):
+        path = self.write_spec(tmp_path, {"design": "no-such-design"})
+        assert main(["evaluate", path]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["evaluate", "/nonexistent/spec.json"]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,100 @@
+"""Analytic degraded-mode evaluation: designs with a level removed."""
+
+import pytest
+
+import repro
+from repro import casestudy
+from repro.exceptions import DesignError
+from repro.units import HOUR
+from repro.workload.presets import cello
+
+
+@pytest.fixture
+def workload():
+    return cello()
+
+
+@pytest.fixture
+def requirements():
+    return casestudy.case_study_requirements()
+
+
+class TestWithoutLevel:
+    def test_removes_named_level(self):
+        design = casestudy.baseline_design()
+        degraded = design.without_level(1)
+        assert len(degraded.levels) == 3
+        names = [lvl.technique.name for lvl in degraded.levels]
+        assert "split mirror" not in names
+        assert "without split mirror" in degraded.name
+
+    def test_primary_cannot_be_removed(self):
+        with pytest.raises(DesignError):
+            casestudy.baseline_design().without_level(0)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(DesignError):
+            casestudy.baseline_design().without_level(9)
+
+    def test_shares_devices_with_original(self):
+        design = casestudy.baseline_design()
+        degraded = design.without_level(1)
+        assert degraded.primary_level.store is design.primary_level.store
+
+    def test_custom_name(self):
+        degraded = casestudy.baseline_design().without_level(1, name="degraded")
+        assert degraded.name == "degraded"
+
+
+class TestDegradedDependability:
+    def test_losing_the_mirror_slows_object_recovery(self, workload, requirements):
+        """Without split mirrors, object rollback must come from tape."""
+        scenario = repro.FailureScenario.object_corruption("1 MB", "24 hr")
+        healthy = repro.evaluate(
+            casestudy.baseline_design(), workload, scenario, requirements
+        )
+        degraded = repro.evaluate(
+            casestudy.baseline_design().without_level(1),
+            workload, scenario, requirements,
+        )
+        assert healthy.data_loss.source_name == "split mirror"
+        assert degraded.data_loss.source_name == "backup"
+        assert degraded.recovery_time > healthy.recovery_time
+        # A day-old target is too recent for the backup's guaranteed
+        # range: loss degrades from 12 h to the backup's full lag.
+        assert healthy.recent_data_loss == pytest.approx(12 * HOUR)
+        assert degraded.recent_data_loss == pytest.approx(217 * HOUR)
+
+    def test_losing_the_vault_makes_site_failure_fatal(self, workload, requirements):
+        scenario = casestudy.site_failure_scenario()
+        degraded = repro.evaluate(
+            casestudy.baseline_design().without_level(3),
+            workload, scenario, requirements,
+            strict_utilization=False,
+        )
+        assert degraded.data_loss.total_loss
+        assert degraded.total_cost == float("inf")
+
+    def test_losing_backup_leaves_array_failure_on_vault(self, workload, requirements):
+        """Without the tape level, array recovery falls through to the
+        vault — dramatically worse lag (the vault still reads via a
+        library, which survives an array failure)."""
+        scenario = casestudy.array_failure_scenario()
+        degraded_design = casestudy.baseline_design().without_level(2)
+        degraded = repro.evaluate(
+            degraded_design, workload, scenario, requirements,
+            strict_utilization=False,
+        )
+        assert degraded.data_loss.source_name == "remote vaulting"
+        assert degraded.recent_data_loss > 217 * HOUR
+
+    def test_degraded_outlays_drop(self, workload, requirements):
+        scenario = casestudy.array_failure_scenario()
+        healthy = repro.evaluate(
+            casestudy.baseline_design(), workload, scenario, requirements
+        )
+        degraded = repro.evaluate(
+            casestudy.baseline_design().without_level(1),
+            workload, scenario, requirements,
+        )
+        assert degraded.costs.total_outlays < healthy.costs.total_outlays

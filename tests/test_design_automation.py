@@ -1,0 +1,232 @@
+"""What-if runner, design-space enumeration, optimizer, sweeps."""
+
+import pytest
+
+from repro import casestudy
+from repro.design import (
+    DesignSpace,
+    candidate_designs,
+    optimize,
+    run_whatif,
+    sweep_accumulation_window,
+    sweep_link_count,
+)
+from repro.design.space import BackupChoice, PitChoice, VaultChoice
+from repro.exceptions import OptimizationError
+from repro.scenarios import BusinessRequirements
+from repro.units import HOUR, MINUTE
+from repro.workload.presets import cello
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return cello()
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return [
+        casestudy.array_failure_scenario(),
+        casestudy.site_failure_scenario(),
+    ]
+
+
+@pytest.fixture(scope="module")
+def requirements():
+    return casestudy.case_study_requirements()
+
+
+class TestWhatIf:
+    def test_runs_table7_grid(self, workload, scenarios, requirements):
+        designs = {
+            "baseline": casestudy.baseline_design,
+            "weekly vault": casestudy.weekly_vault_design,
+        }
+        results = run_whatif(designs, workload, scenarios, requirements)
+        assert [r.design_name for r in results] == ["baseline", "weekly vault"]
+        base, weekly = results
+        assert base.scenario("site").recent_data_loss > weekly.scenario(
+            "site"
+        ).recent_data_loss
+
+    def test_worst_case_views(self, workload, scenarios, requirements):
+        results = run_whatif(
+            {"baseline": casestudy.baseline_design},
+            workload, scenarios, requirements,
+        )
+        result = results[0]
+        assert result.worst_data_loss == pytest.approx(1429 * HOUR)
+        assert result.worst_recovery_time == result.scenario("site").recovery_time
+        assert result.worst_total_cost == result.scenario("site").total_cost
+        assert result.total_outlays > 0
+
+    def test_unknown_scenario_fragment_raises(
+        self, workload, scenarios, requirements
+    ):
+        result = run_whatif(
+            {"baseline": casestudy.baseline_design},
+            workload, scenarios, requirements,
+        )[0]
+        with pytest.raises(KeyError):
+            result.scenario("no-such-scenario")
+
+
+class TestDesignSpace:
+    def test_default_space_enumerates(self):
+        candidates = candidate_designs(DesignSpace())
+        assert len(candidates) == 16
+        # Tape track and mirror track both present.
+        assert any("split-mirror" in name for name in candidates)
+        assert "asyncB-1link" in candidates
+
+    def test_vault_requires_backup(self):
+        space = DesignSpace(
+            pit_choices=(PitChoice("split-mirror"),),
+            backup_choices=(None,),
+            vault_choices=(VaultChoice("v", "4 wk", "676 hr", 39),),
+            mirror_link_counts=(None,),
+        )
+        candidates = candidate_designs(space)
+        assert all("vault" not in name for name in candidates)
+
+    def test_backup_faster_than_pit_pruned(self):
+        space = DesignSpace(
+            pit_choices=(PitChoice("split-mirror", "1 wk", 4),),
+            backup_choices=(BackupChoice("daily", "24 hr", "12 hr"),),
+            vault_choices=(None,),
+            mirror_link_counts=(None,),
+        )
+        assert candidate_designs(space) == {}
+
+    def test_factories_produce_valid_evaluable_designs(
+        self, workload, scenarios, requirements
+    ):
+        candidates = candidate_designs(DesignSpace())
+        outcome = optimize(candidates, workload, scenarios, requirements)
+        assert not outcome.skipped
+
+    def test_size_upper_bound(self):
+        space = DesignSpace()
+        assert space.size_upper_bound() >= len(candidate_designs(space))
+
+
+class TestHybridDesigns:
+    def test_hybrid_space_is_larger(self):
+        plain = candidate_designs(DesignSpace())
+        hybrids = candidate_designs(DesignSpace(), include_hybrids=True)
+        assert len(hybrids) > len(plain)
+        assert any("asyncB" in name and "full" in name for name in hybrids)
+
+    def test_hybrid_designs_validate_and_evaluate(self, workload, requirements):
+        hybrids = candidate_designs(DesignSpace(), include_hybrids=True)
+        name = next(n for n in hybrids if "asyncB" in n and "vault" in n)
+        from repro import evaluate
+
+        result = evaluate(
+            hybrids[name](), workload,
+            casestudy.array_failure_scenario(), requirements,
+        )
+        # The mirror branch bounds array-failure loss at minutes.
+        assert result.recent_data_loss == pytest.approx(120.0)
+
+    def test_rollback_plus_tight_rpo_requires_hybrids(self, workload):
+        """Mirror-only designs cannot roll back; tape-only designs lose
+        hundreds of hours at an array failure.  Only a hybrid satisfies
+        both a 12 h RPO and a 24 h-old object restore."""
+        from repro.scenarios import FailureScenario
+        from repro.units import MB
+
+        scenarios = [
+            FailureScenario.object_corruption(1 * MB, "24 hr"),
+            casestudy.array_failure_scenario(),
+            casestudy.site_failure_scenario(),
+        ]
+        strict = BusinessRequirements.per_hour(
+            50_000, 50_000, rto="12 hr", rpo="12 hr"
+        )
+        plain_outcome = optimize(
+            candidate_designs(DesignSpace()), workload, scenarios, strict
+        )
+        hybrid_outcome = optimize(
+            candidate_designs(DesignSpace(), include_hybrids=True),
+            workload, scenarios, strict,
+        )
+        assert plain_outcome.best is None
+        assert hybrid_outcome.best is not None
+        assert "asyncB" in hybrid_outcome.best.name
+        assert "snapshot" in hybrid_outcome.best.name
+
+
+class TestOptimizer:
+    def test_unconstrained_picks_single_link_mirror(
+        self, workload, scenarios, requirements
+    ):
+        """With no RTO/RPO, the paper's 'ironic' winner: cheapest total
+        is the 1-link mirror despite its 20+ hour recovery."""
+        outcome = optimize(
+            candidate_designs(DesignSpace()), workload, scenarios, requirements
+        )
+        assert outcome.best is not None
+        assert outcome.best.name == "asyncB-1link"
+
+    def test_tight_objectives_force_more_links(self, workload, scenarios):
+        strict = BusinessRequirements.per_hour(
+            50_000, 50_000, rto="12 hr", rpo="10 hr"
+        )
+        outcome = optimize(
+            candidate_designs(DesignSpace()), workload, scenarios, strict
+        )
+        assert outcome.best is not None
+        assert outcome.best.name == "asyncB-10link"
+        assert outcome.feasible_count == 1
+
+    def test_impossible_objectives_yield_no_best(self, workload, scenarios):
+        impossible = BusinessRequirements.per_hour(
+            50_000, 50_000, rto="1 s", rpo="1 s"
+        )
+        outcome = optimize(
+            candidate_designs(DesignSpace()), workload, scenarios, impossible
+        )
+        assert outcome.best is None
+        assert outcome.feasible_count == 0
+        assert "no feasible" in outcome.summary()
+
+    def test_ranking_sorted_by_cost(self, workload, scenarios, requirements):
+        outcome = optimize(
+            candidate_designs(DesignSpace()), workload, scenarios, requirements
+        )
+        objectives = [entry.objective for entry in outcome.ranking]
+        assert objectives == sorted(objectives)
+
+    def test_empty_candidates_raise(self, workload, scenarios, requirements):
+        with pytest.raises(OptimizationError):
+            optimize({}, workload, scenarios, requirements)
+
+
+class TestSweeps:
+    def test_window_sweep_trades_loss_for_link_demand(
+        self, workload, requirements
+    ):
+        points = sweep_accumulation_window(
+            ["1 min", "10 min", "1 hr"],
+            workload,
+            casestudy.array_failure_scenario(),
+            requirements,
+        )
+        losses = [p.recent_data_loss for p in points]
+        assert losses == sorted(losses)  # longer window -> more loss
+        assert points[0].parameter == MINUTE
+
+    def test_link_sweep_monotone_recovery(self, workload, requirements):
+        points = sweep_link_count(
+            [1, 2, 4, 8],
+            workload,
+            casestudy.array_failure_scenario(),
+            requirements,
+        )
+        times = [p.recovery_time for p in points]
+        assert times == sorted(times, reverse=True)  # more links, faster
+        costs = [p.total_cost for p in points]
+        # Outlays rise with links; penalties fall: total is not monotone,
+        # but the extremes must differ.
+        assert costs[0] != costs[-1]

@@ -1,0 +1,141 @@
+"""Failure-frequency weighting and expected annual cost."""
+
+import pytest
+
+from repro import casestudy
+from repro.design import (
+    FailureFrequencies,
+    expected_annual_cost,
+    optimize_expected,
+)
+from repro.exceptions import DesignError, OptimizationError
+from repro.scenarios import BusinessRequirements
+from repro.workload.presets import cello
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return cello()
+
+
+@pytest.fixture(scope="module")
+def requirements():
+    return casestudy.case_study_requirements()
+
+
+@pytest.fixture(scope="module")
+def frequencies():
+    return FailureFrequencies(
+        [
+            (casestudy.object_failure_scenario(), 5.0),
+            (casestudy.array_failure_scenario(), 0.5),
+            (casestudy.site_failure_scenario(), 0.01),
+        ]
+    )
+
+
+class TestFailureFrequencies:
+    def test_construction(self, frequencies):
+        assert len(frequencies) == 3
+        assert frequencies.rates_per_year == (5.0, 0.5, 0.01)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(DesignError):
+            FailureFrequencies([(casestudy.array_failure_scenario(), -1.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(DesignError):
+            FailureFrequencies([])
+
+
+class TestExpectedCost:
+    def test_decomposition(self, workload, frequencies, requirements):
+        cost = expected_annual_cost(
+            casestudy.baseline_design, workload, frequencies, requirements
+        )
+        assert cost.expected_annual_cost == pytest.approx(
+            cost.annual_outlays + cost.expected_annual_penalties
+        )
+        assert len(cost.penalty_by_scenario) == 3
+        assert cost.expected_annual_penalties == pytest.approx(
+            sum(cost.penalty_by_scenario.values())
+        )
+
+    def test_weights_scale_penalties(self, workload, requirements):
+        rare = FailureFrequencies([(casestudy.array_failure_scenario(), 0.1)])
+        common = FailureFrequencies([(casestudy.array_failure_scenario(), 1.0)])
+        rare_cost = expected_annual_cost(
+            casestudy.baseline_design, workload, rare, requirements
+        )
+        common_cost = expected_annual_cost(
+            casestudy.baseline_design, workload, common, requirements
+        )
+        assert common_cost.expected_annual_penalties == pytest.approx(
+            10 * rare_cost.expected_annual_penalties
+        )
+
+    def test_zero_rate_neutralizes_total_loss(self, workload, requirements):
+        """A design that cannot survive site failure is still finite in
+        expectation when site failures are rated at zero frequency."""
+        def no_vault():
+            return casestudy._tape_design(
+                "no-vault-variant",
+                casestudy._baseline_split_mirror(),
+                casestudy._baseline_backup(),
+                casestudy._baseline_vaulting(),
+            ).without_level(3)
+
+        frequencies = FailureFrequencies(
+            [
+                (casestudy.array_failure_scenario(), 0.5),
+                (casestudy.site_failure_scenario(), 0.0),
+            ]
+        )
+        cost = expected_annual_cost(no_vault, workload, frequencies, requirements)
+        assert cost.expected_annual_cost != float("inf")
+
+    def test_infinite_when_unsurvivable_and_rated(self, workload, requirements):
+        def no_vault():
+            return casestudy.baseline_design().without_level(3)
+
+        frequencies = FailureFrequencies(
+            [(casestudy.site_failure_scenario(), 0.01)]
+        )
+        cost = expected_annual_cost(no_vault, workload, frequencies, requirements)
+        assert cost.expected_annual_cost == float("inf")
+
+
+class TestOptimizeExpected:
+    def test_frequency_changes_the_winner(self, workload, requirements):
+        """Frequencies reweight the trade: if failures are vanishingly
+        rare, cheap outlays win; if arrays die monthly, protection pays."""
+        candidates = {
+            "baseline": casestudy.baseline_design,
+            "asyncB-10link": lambda: casestudy.async_batch_mirror_design(10),
+        }
+        rare = FailureFrequencies([(casestudy.array_failure_scenario(), 0.01)])
+        frequent = FailureFrequencies([(casestudy.array_failure_scenario(), 12.0)])
+        rare_ranking = optimize_expected(candidates, workload, rare, requirements)
+        frequent_ranking = optimize_expected(
+            candidates, workload, frequent, requirements
+        )
+        assert rare_ranking[0].design_name == "baseline"
+        assert frequent_ranking[0].design_name == "asyncB-10link"
+
+    def test_ranking_sorted(self, workload, frequencies, requirements):
+        ranking = optimize_expected(
+            {
+                "baseline": casestudy.baseline_design,
+                "weekly vault": casestudy.weekly_vault_design,
+                "asyncB-1link": lambda: casestudy.async_batch_mirror_design(1),
+            },
+            workload,
+            frequencies,
+            requirements,
+        )
+        values = [entry.expected_annual_cost for entry in ranking]
+        assert values == sorted(values)
+
+    def test_empty_candidates_raise(self, workload, frequencies, requirements):
+        with pytest.raises(OptimizationError):
+            optimize_expected({}, workload, frequencies, requirements)

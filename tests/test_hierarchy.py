@@ -1,0 +1,209 @@
+"""StorageDesign: construction, structure queries, failure mapping."""
+
+import pytest
+
+from repro.core import StorageDesign, validate_design
+from repro.devices import SpareConfig
+from repro.devices.catalog import (
+    air_shipment,
+    enterprise_tape_library,
+    midrange_disk_array,
+    offsite_vault,
+    san_link,
+)
+from repro.exceptions import DesignError
+from repro.scenarios import FailureScenario
+from repro.scenarios.locations import PRIMARY_SITE, REMOTE_SITE
+from repro.techniques import Backup, PrimaryCopy, RemoteVaulting, SplitMirror
+from repro.units import HOUR, WEEK
+from repro.workload.presets import cello
+from repro import casestudy
+
+
+@pytest.fixture
+def baseline():
+    return casestudy.baseline_design()
+
+
+class TestConstruction:
+    def test_level_zero_must_be_primary(self):
+        design = StorageDesign("d")
+        with pytest.raises(DesignError):
+            design.add_level(SplitMirror("12 hr", 4), store=midrange_disk_array())
+
+    def test_primary_only_at_level_zero(self):
+        design = StorageDesign("d")
+        array = midrange_disk_array()
+        design.add_level(PrimaryCopy(), store=array)
+        with pytest.raises(DesignError):
+            design.add_level(PrimaryCopy(), store=array)
+
+    def test_primary_has_no_transport(self):
+        design = StorageDesign("d")
+        with pytest.raises(DesignError):
+            design.add_level(
+                PrimaryCopy(), store=midrange_disk_array(), transport=san_link()
+            )
+
+    def test_co_located_technique_must_share_device(self):
+        design = StorageDesign("d")
+        design.add_level(PrimaryCopy(), store=midrange_disk_array())
+        with pytest.raises(DesignError):
+            design.add_level(
+                SplitMirror("12 hr", 4), store=midrange_disk_array(name="other")
+            )
+
+    def test_transport_must_be_interconnect(self):
+        design = StorageDesign("d")
+        array = midrange_disk_array()
+        design.add_level(PrimaryCopy(), store=array)
+        with pytest.raises(DesignError):
+            design.add_level(
+                Backup("1 wk", "48 hr", "1 hr", 4),
+                store=enterprise_tape_library(),
+                transport=midrange_disk_array(name="not-a-link"),
+            )
+
+    def test_empty_design_has_no_primary(self):
+        with pytest.raises(DesignError):
+            StorageDesign("d").primary_level
+
+    def test_unnamed_design_rejected(self):
+        with pytest.raises(DesignError):
+            StorageDesign("")
+
+
+class TestStructure:
+    def test_baseline_has_four_levels(self, baseline):
+        assert len(baseline.levels) == 4
+        assert baseline.primary_level.index == 0
+        assert len(baseline.secondary_levels()) == 3
+
+    def test_level_lookup(self, baseline):
+        assert baseline.level(2).technique.name == "backup"
+        with pytest.raises(DesignError):
+            baseline.level(9)
+
+    def test_devices_unique_in_order(self, baseline):
+        names = [d.name for d in baseline.devices()]
+        assert names == [
+            "primary-array",
+            "tape-library",
+            "san",
+            "vault",
+            "air-shipment",
+        ]
+
+    def test_storage_devices_excludes_interconnects(self, baseline):
+        names = [d.name for d in baseline.storage_devices()]
+        assert names == ["primary-array", "tape-library", "vault"]
+
+    def test_upstream_delay_sums_hold_plus_prop(self, baseline):
+        # Level 3 (vault): upstream = mirror (0) + backup (1 + 48 h).
+        assert baseline.upstream_delay(3) == pytest.approx(49 * HOUR)
+        assert baseline.upstream_delay(1) == 0.0
+
+    def test_render_hierarchy(self, baseline):
+        art = baseline.render_hierarchy()
+        assert "level 0" in art and "level 3" in art
+        assert "recovery facility" in art
+
+
+class TestFailureMapping:
+    def test_object_failure_fails_nothing(self, baseline):
+        scenario = FailureScenario.object_corruption("1 MB", "24 hr")
+        assert baseline.failed_devices(scenario) == ()
+        assert len(baseline.surviving_levels(scenario)) == 3
+
+    def test_array_failure_fails_named_device(self, baseline):
+        scenario = FailureScenario.array_failure("primary-array")
+        failed = baseline.failed_devices(scenario)
+        assert [d.name for d in failed] == ["primary-array"]
+        survivors = [lvl.technique.name for lvl in baseline.surviving_levels(scenario)]
+        assert survivors == ["backup", "remote vaulting"]
+
+    def test_unknown_device_rejected(self, baseline):
+        scenario = FailureScenario.array_failure("nonexistent")
+        with pytest.raises(DesignError):
+            baseline.failed_devices(scenario)
+
+    def test_site_failure_spares_the_vault(self, baseline):
+        scenario = FailureScenario.site_disaster(PRIMARY_SITE)
+        failed = {d.name for d in baseline.failed_devices(scenario)}
+        assert "primary-array" in failed and "tape-library" in failed
+        assert "vault" not in failed
+        survivors = [lvl.technique.name for lvl in baseline.surviving_levels(scenario)]
+        assert survivors == ["remote vaulting"]
+
+    def test_site_failure_defaults_to_primary_location(self, baseline):
+        scenario = FailureScenario.site_disaster()  # no explicit location
+        failed = {d.name for d in baseline.failed_devices(scenario)}
+        assert "primary-array" in failed
+
+    def test_region_failure_with_colocated_vault(self):
+        """A vault in the same region dies with the region."""
+        array = midrange_disk_array()
+        vault = offsite_vault(location=PRIMARY_SITE)
+        design = StorageDesign("regional", recovery_facility=SpareConfig.shared())
+        design.add_level(PrimaryCopy(), store=array)
+        design.add_level(
+            Backup("1 wk", "48 hr", "1 hr", 4),
+            store=enterprise_tape_library(),
+            transport=san_link(),
+        )
+        design.add_level(
+            RemoteVaulting("4 wk", "24 hr", 4 * WEEK, 39),
+            store=vault,
+            transport=air_shipment(),
+        )
+        scenario = FailureScenario.region_disaster(PRIMARY_SITE)
+        failed = {d.name for d in design.failed_devices(scenario)}
+        assert "vault" in failed
+        assert design.surviving_levels(scenario) == ()
+
+
+class TestValidateDesign:
+    def test_baseline_is_valid(self, baseline):
+        warnings = validate_design(baseline, cello())
+        # The baseline's vault hold (4 wk + 12 h) slightly exceeds the
+        # backup retention (4 wk): reported as a warning, not an error.
+        assert all("error" not in w.lower() for w in warnings)
+
+    def test_shrinking_retention_rejected(self):
+        design = StorageDesign("bad")
+        array = midrange_disk_array()
+        design.add_level(PrimaryCopy(), store=array)
+        design.add_level(SplitMirror("12 hr", 4), store=array)
+        design.add_level(
+            Backup("1 wk", "48 hr", "1 hr", retention_count=2),  # < 4
+            store=enterprise_tape_library(),
+            transport=san_link(),
+        )
+        with pytest.raises(DesignError):
+            validate_design(design, cello())
+
+    def test_shrinking_cycle_period_rejected(self):
+        design = StorageDesign("bad")
+        array = midrange_disk_array()
+        design.add_level(PrimaryCopy(), store=array)
+        design.add_level(SplitMirror("1 wk", 4), store=array)
+        design.add_level(
+            Backup("12 hr", "6 hr", "1 hr", retention_count=4),  # faster than PiT
+            store=enterprise_tape_library(),
+            transport=san_link(),
+        )
+        with pytest.raises(DesignError):
+            validate_design(design, cello())
+
+    def test_non_strict_returns_messages(self):
+        design = StorageDesign("bad")
+        array = midrange_disk_array()
+        design.add_level(PrimaryCopy(), store=array)
+        design.add_level(SplitMirror("1 wk", 4), store=array)
+        design.add_level(
+            Backup("12 hr", "6 hr", "1 hr", retention_count=1),
+            store=enterprise_tape_library(),
+            transport=san_link(),
+        )
+        messages = validate_design(design, cello(), strict=False)
+        assert messages

@@ -1,0 +1,93 @@
+"""Report rendering: tables and composed paper-style reports."""
+
+import pytest
+
+from repro import casestudy, evaluate_scenarios
+from repro.reporting import (
+    Table,
+    cost_breakdown_report,
+    dependability_report,
+    utilization_report,
+    whatif_report,
+)
+from repro.workload.presets import cello
+
+
+@pytest.fixture(scope="module")
+def results():
+    return evaluate_scenarios(
+        casestudy.baseline_design(),
+        cello(),
+        casestudy.case_study_scenarios(),
+        casestudy.case_study_requirements(),
+    )
+
+
+class TestTable:
+    def test_render_basic(self):
+        table = Table(["name", "value"], title="T")
+        table.add_row("a", 1)
+        table.add_row("bb", 22)
+        text = table.render()
+        assert "T" in text
+        assert "| a " in text and "| bb" in text
+        assert text.count("+") >= 6
+
+    def test_alignment(self):
+        table = Table(["l", "r"])
+        table.add_row("x", "1")
+        line = table.render().splitlines()[-2]
+        assert line.startswith("| x")
+
+    def test_add_rows(self):
+        table = Table(["a"])
+        table.add_rows([["1"], ["2"]])
+        assert len(table.rows) == 2
+
+    def test_wrong_cell_count_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row("only-one")
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            Table(["a"], align=["x"])
+        with pytest.raises(ValueError):
+            Table(["a"], align=["l", "r"])
+
+    def test_str_is_render(self):
+        table = Table(["a"])
+        table.add_row("1")
+        assert str(table) == table.render()
+
+
+class TestComposedReports:
+    def test_utilization_report_contains_devices(self, results):
+        text = utilization_report(next(iter(results.values())).utilization)
+        assert "primary-array" in text
+        assert "split mirror" in text
+        assert "87.3%" in text
+
+    def test_dependability_report_matches_table6(self, results):
+        text = dependability_report(results)
+        assert "split mirror" in text
+        assert "217.0 hr" in text
+        assert "backup" in text
+
+    def test_cost_breakdown_has_penalties(self, results):
+        text = cost_breakdown_report(results)
+        assert "penalty: recent data loss" in text
+        assert "outlay: backup" in text
+        assert "total" in text
+
+    def test_whatif_report_grid(self, results):
+        grid = {"baseline": results}
+        labels = list(results.keys())
+        text = whatif_report(grid, labels)
+        assert "baseline" in text
+        assert "outlays" in text
+        assert "RT (hr)" in text

@@ -1,0 +1,135 @@
+"""Locations, failure scopes/scenarios and business requirements."""
+
+import pytest
+
+from repro.exceptions import DesignError
+from repro.scenarios import (
+    BusinessRequirements,
+    FailureScenario,
+    FailureScope,
+    Location,
+)
+from repro.scenarios.locations import PRIMARY_SITE, REMOTE_SITE
+from repro.units import HOUR, MB
+
+
+class TestLocation:
+    def test_containment(self):
+        a = Location("r1", "s1", "b1")
+        b = Location("r1", "s1", "b2")
+        c = Location("r1", "s2", "b1")
+        d = Location("r2", "s1", "b1")
+        assert a.same_site(b) and not a.same_building(b)
+        assert a.same_region(c) and not a.same_site(c)
+        assert not a.same_region(d)
+        assert a.same_building(a)
+
+    def test_default_building(self):
+        loc = Location("r", "s")
+        assert loc.building == "main"
+
+    def test_empty_field_rejected(self):
+        with pytest.raises(DesignError):
+            Location("", "s")
+
+    def test_label(self):
+        assert Location("r", "s", "b").label() == "r/s/b"
+
+    def test_module_constants_differ(self):
+        assert not PRIMARY_SITE.same_region(REMOTE_SITE)
+
+
+class TestFailureScope:
+    def test_hardware_flag(self):
+        assert not FailureScope.DATA_OBJECT.is_hardware
+        for scope in (
+            FailureScope.DISK_ARRAY,
+            FailureScope.BUILDING,
+            FailureScope.SITE,
+            FailureScope.REGION,
+        ):
+            assert scope.is_hardware
+
+    def test_fails_location_granularity(self):
+        here = Location("r1", "s1", "b1")
+        same_site = Location("r1", "s1", "b2")
+        same_region = Location("r1", "s2")
+        elsewhere = Location("r2", "s9")
+        assert FailureScope.BUILDING.fails_location(here, here)
+        assert not FailureScope.BUILDING.fails_location(here, same_site)
+        assert FailureScope.SITE.fails_location(here, same_site)
+        assert not FailureScope.SITE.fails_location(here, same_region)
+        assert FailureScope.REGION.fails_location(here, same_region)
+        assert not FailureScope.REGION.fails_location(here, elsewhere)
+
+    def test_object_scope_fails_no_hardware(self):
+        here = Location("r", "s")
+        assert not FailureScope.DATA_OBJECT.fails_location(here, here)
+
+
+class TestFailureScenario:
+    def test_object_corruption(self):
+        scenario = FailureScenario.object_corruption(1 * MB, "24 hr")
+        assert scenario.scope is FailureScope.DATA_OBJECT
+        assert scenario.object_size == 1 * MB
+        assert scenario.recovery_target_age == 24 * HOUR
+
+    def test_array_failure(self):
+        scenario = FailureScenario.array_failure("primary-array")
+        assert scenario.failed_device == "primary-array"
+        assert scenario.recovery_target_age == 0.0
+
+    def test_site_disaster(self):
+        scenario = FailureScenario.site_disaster(PRIMARY_SITE)
+        assert scenario.scope is FailureScope.SITE
+        assert scenario.failed_location is PRIMARY_SITE
+
+    def test_region_and_building_constructors(self):
+        assert FailureScenario.building_disaster().scope is FailureScope.BUILDING
+        assert FailureScenario.region_disaster().scope is FailureScope.REGION
+
+    def test_array_without_device_rejected(self):
+        with pytest.raises(DesignError):
+            FailureScenario(scope=FailureScope.DISK_ARRAY)
+
+    def test_object_without_size_rejected(self):
+        with pytest.raises(DesignError):
+            FailureScenario(scope=FailureScope.DATA_OBJECT)
+
+    def test_negative_target_age_rejected(self):
+        with pytest.raises(DesignError):
+            FailureScenario.object_corruption(1 * MB, -3)
+
+    def test_describe_is_informative(self):
+        text = FailureScenario.object_corruption(1 * MB, "24 hr").describe()
+        assert "object" in text and "24" in text
+
+
+class TestBusinessRequirements:
+    def test_per_hour_conversion(self):
+        reqs = BusinessRequirements.per_hour(50_000, 50_000)
+        assert reqs.outage_penalty(1 * HOUR) == pytest.approx(50_000)
+        assert reqs.loss_penalty(2 * HOUR) == pytest.approx(100_000)
+
+    def test_total_penalty(self):
+        reqs = BusinessRequirements.per_hour(10_000, 20_000)
+        assert reqs.total_penalty(1 * HOUR, 1 * HOUR) == pytest.approx(30_000)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(DesignError):
+            BusinessRequirements(-1, 0)
+
+    def test_objectives_unset_always_met(self):
+        reqs = BusinessRequirements.per_hour(1, 1)
+        assert reqs.meets_objectives(1e9, 1e9)
+
+    def test_rto_rpo_checks(self):
+        reqs = BusinessRequirements.per_hour(1, 1, rto="2 hr", rpo="1 hr")
+        assert reqs.meets_rto(HOUR) and not reqs.meets_rto(3 * HOUR)
+        assert reqs.meets_rpo(HOUR) and not reqs.meets_rpo(2 * HOUR)
+        assert not reqs.meets_objectives(3 * HOUR, 0)
+
+    def test_negative_penalty_inputs_clamped(self):
+        reqs = BusinessRequirements.per_hour(10, 10)
+        assert reqs.outage_penalty(-5) == 0.0
+        assert reqs.loss_penalty(-5) == 0.0

@@ -1,0 +1,149 @@
+"""Synthetic trace generation: reproducibility and target statistics."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.units import GB, KB, MB
+from repro.workload import SyntheticWorkloadConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def small_config():
+    return SyntheticWorkloadConfig(
+        data_capacity=1 * GB,
+        duration=1800.0,
+        avg_access_rate=2 * MB,
+        avg_update_rate=1 * MB,
+        burst_multiplier=4.0,
+        burst_period=60.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def small_trace(small_config):
+    return generate_trace(small_config, seed=7)
+
+
+class TestConfigValidation:
+    def test_default_config_is_valid(self):
+        SyntheticWorkloadConfig().validate()
+
+    def test_update_above_access_rejected(self):
+        config = SyntheticWorkloadConfig(
+            avg_access_rate=1 * MB, avg_update_rate=2 * MB
+        )
+        with pytest.raises(WorkloadError):
+            config.validate()
+
+    def test_burst_below_one_rejected(self):
+        with pytest.raises(WorkloadError):
+            SyntheticWorkloadConfig(burst_multiplier=0.9).validate()
+
+    def test_hot_fraction_bounds(self):
+        with pytest.raises(WorkloadError):
+            SyntheticWorkloadConfig(hot_fraction=0.0).validate()
+        with pytest.raises(WorkloadError):
+            SyntheticWorkloadConfig(hot_fraction=1.5).validate()
+
+    def test_io_size_must_divide_block_size(self):
+        with pytest.raises(WorkloadError):
+            SyntheticWorkloadConfig(io_size=12000, block_size=8192).validate()
+
+
+class TestGeneration:
+    def test_reproducible_with_same_seed(self, small_config):
+        a = generate_trace(small_config, seed=3)
+        b = generate_trace(small_config, seed=3)
+        assert len(a) == len(b)
+        assert (a.timestamps == b.timestamps).all()
+        assert (a.offsets == b.offsets).all()
+
+    def test_different_seeds_differ(self, small_config):
+        a = generate_trace(small_config, seed=1)
+        b = generate_trace(small_config, seed=2)
+        assert len(a) != len(b) or (a.timestamps != b.timestamps).any()
+
+    def test_mean_rates_near_target(self, small_config, small_trace):
+        access = small_trace.total_bytes() / small_config.duration
+        update = small_trace.written_bytes() / small_config.duration
+        assert access == pytest.approx(small_config.avg_access_rate, rel=0.15)
+        assert update == pytest.approx(small_config.avg_update_rate, rel=0.15)
+
+    def test_timestamps_within_duration(self, small_config, small_trace):
+        assert small_trace.duration <= small_config.duration
+        assert (small_trace.timestamps >= 0).all()
+
+    def test_accesses_within_object(self, small_config, small_trace):
+        assert (
+            small_trace.offsets + small_trace.sizes
+            <= small_config.data_capacity
+        ).all()
+
+    def test_writes_are_bursty(self, small_config, small_trace):
+        rates = small_trace.rate_per_interval(1.0, writes_only=True)
+        mean = rates.mean()
+        assert mean > 0
+        # On/off arrivals should push the peak well above the mean.
+        assert rates.max() / mean >= 2.0
+
+    def test_write_locality_coalesces(self, small_config, small_trace):
+        """Unique bytes in a long window grow sublinearly (hot-set skew)."""
+        short = small_trace.unique_written_bytes(0.0, 60.0)
+        long = small_trace.unique_written_bytes(0.0, 1800.0)
+        raw_long = small_trace.written_bytes()
+        assert long < raw_long  # overwrites happened
+        assert long >= short
+
+    def test_diurnal_modulation_shapes_the_day(self):
+        """With a strong diurnal swing, the 'day' half of each cycle
+        carries clearly more writes than the 'night' half."""
+        config = SyntheticWorkloadConfig(
+            data_capacity=1 * GB,
+            duration=4 * 3600.0,
+            avg_access_rate=2 * MB,
+            avg_update_rate=1 * MB,
+            burst_multiplier=2.0,
+            burst_period=30.0,
+            diurnal_amplitude=0.9,
+            diurnal_period=3600.0,  # compressed "day" for the test
+        )
+        trace = generate_trace(config, seed=13)
+        day_bytes = night_bytes = 0.0
+        for cycle in range(4):
+            base = cycle * 3600.0
+            day_bytes += trace.slice(base, base + 1800.0).written_bytes()
+            night_bytes += trace.slice(base + 1800.0, base + 3600.0).written_bytes()
+        assert day_bytes > 1.5 * night_bytes
+
+    def test_diurnal_preserves_mean_rate(self):
+        flat = SyntheticWorkloadConfig(
+            data_capacity=1 * GB, duration=7200.0,
+            avg_access_rate=2 * MB, avg_update_rate=1 * MB,
+            burst_multiplier=2.0, burst_period=30.0,
+        )
+        wavy = SyntheticWorkloadConfig(
+            data_capacity=1 * GB, duration=7200.0,
+            avg_access_rate=2 * MB, avg_update_rate=1 * MB,
+            burst_multiplier=2.0, burst_period=30.0,
+            diurnal_amplitude=0.8, diurnal_period=3600.0,
+        )
+        flat_rate = generate_trace(flat, seed=3).written_bytes() / 7200.0
+        wavy_rate = generate_trace(wavy, seed=3).written_bytes() / 7200.0
+        assert wavy_rate == pytest.approx(flat_rate, rel=0.15)
+
+    def test_diurnal_amplitude_bounds(self):
+        with pytest.raises(WorkloadError):
+            SyntheticWorkloadConfig(diurnal_amplitude=1.0).validate()
+        with pytest.raises(WorkloadError):
+            SyntheticWorkloadConfig(diurnal_period=0).validate()
+
+    def test_zero_update_rate_produces_read_only_trace(self):
+        config = SyntheticWorkloadConfig(
+            data_capacity=256 * 1024 * 1024,
+            duration=600.0,
+            avg_access_rate=1 * MB,
+            avg_update_rate=0.0,
+        )
+        trace = generate_trace(config, seed=0)
+        assert trace.written_bytes() == 0.0
+        assert trace.read_bytes() > 0

@@ -1,0 +1,189 @@
+"""CycleModel: worst lag, RP spacing, retention span (Figures 2-3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PolicyError
+from repro.techniques import CycleModel, RPEvent
+from repro.units import DAY, HOUR, WEEK
+
+
+class TestRPEvent:
+    def test_availability_delay(self):
+        event = RPEvent(offset=0, hold=1 * HOUR, prop=48 * HOUR)
+        assert event.availability_delay == 49 * HOUR
+
+    def test_negative_windows_rejected(self):
+        with pytest.raises(PolicyError):
+            RPEvent(offset=-1)
+        with pytest.raises(PolicyError):
+            RPEvent(offset=0, hold=-1)
+
+
+class TestConstruction:
+    def test_requires_events(self):
+        with pytest.raises(PolicyError):
+            CycleModel(period=10, events=[], retention_count=1)
+
+    def test_requires_a_full(self):
+        with pytest.raises(PolicyError):
+            CycleModel(
+                period=10,
+                events=[RPEvent(offset=0, is_full=False)],
+                retention_count=1,
+            )
+
+    def test_offset_outside_period_rejected(self):
+        with pytest.raises(PolicyError):
+            CycleModel(period=10, events=[RPEvent(offset=10)], retention_count=1)
+
+    def test_zero_retention_rejected(self):
+        with pytest.raises(PolicyError):
+            CycleModel.single(10, 0, 0, retention_count=0)
+
+
+class TestSingleEventCycles:
+    """The simple policies reduce to the paper's closed forms."""
+
+    def test_worst_lag_is_acc_plus_hold_plus_prop(self):
+        cycle = CycleModel.single(
+            accumulation_window=WEEK,
+            hold_window=1 * HOUR,
+            propagation_window=48 * HOUR,
+            retention_count=4,
+        )
+        assert cycle.worst_lag() == pytest.approx(WEEK + 49 * HOUR)
+
+    def test_split_mirror_lag(self):
+        cycle = CycleModel.single(12 * HOUR, 0, 0, retention_count=4)
+        assert cycle.worst_lag() == pytest.approx(12 * HOUR)
+
+    def test_spacing_equals_period(self):
+        cycle = CycleModel.single(12 * HOUR, 0, 0, retention_count=4)
+        assert cycle.worst_spacing() == pytest.approx(12 * HOUR)
+
+    def test_retention_span(self):
+        cycle = CycleModel.single(12 * HOUR, 0, 0, retention_count=4)
+        assert cycle.retention_span() == pytest.approx(36 * HOUR)
+
+    def test_vault_lag(self):
+        # Baseline vault: 4 wk accW, 4 wk + 12 h hold, 24 h prop.
+        cycle = CycleModel.single(
+            4 * WEEK, 4 * WEEK + 12 * HOUR, 24 * HOUR, retention_count=39
+        )
+        assert cycle.worst_lag() == pytest.approx(8 * WEEK + 36 * HOUR)
+        assert cycle.retention_span() == pytest.approx(38 * 4 * WEEK)
+
+    def test_full_availability_delay(self):
+        cycle = CycleModel.single(WEEK, 1 * HOUR, 48 * HOUR, retention_count=4)
+        assert cycle.full_availability_delay() == pytest.approx(49 * HOUR)
+
+    def test_arrivals_per_period(self):
+        assert CycleModel.single(WEEK, 0, 0, 1).arrivals_per_period() == 1
+
+
+class TestMixedCycles:
+    """Full + incrementals: the paper's F+I worst case is 73 h."""
+
+    @pytest.fixture
+    def f_plus_i(self):
+        # Weekly fulls (48 h accW and propW, 1 h hold) + 5 daily
+        # cumulative incrementals (24 h accW, 12 h propW, 1 h hold).
+        events = [RPEvent(offset=0, hold=1 * HOUR, prop=48 * HOUR, is_full=True)]
+        for k in range(5):
+            events.append(
+                RPEvent(
+                    offset=48 * HOUR + k * 24 * HOUR,
+                    hold=1 * HOUR,
+                    prop=12 * HOUR,
+                    is_full=False,
+                    label=f"incr-{k + 1}",
+                )
+            )
+        return CycleModel(period=WEEK, events=events, retention_count=4)
+
+    def test_worst_lag_is_73_hours(self, f_plus_i):
+        assert f_plus_i.worst_lag() == pytest.approx(73 * HOUR)
+
+    def test_worst_spacing_is_weekend_gap(self, f_plus_i):
+        assert f_plus_i.worst_spacing() == pytest.approx(48 * HOUR)
+
+    def test_incrementals_wait_for_their_base_full(self):
+        # An incremental that becomes available before its base full is
+        # only usable once the full lands.
+        events = [
+            RPEvent(offset=0, hold=0, prop=10 * HOUR, is_full=True),
+            RPEvent(offset=1 * HOUR, hold=0, prop=0, is_full=False),
+        ]
+        cycle = CycleModel(period=DAY, events=events, retention_count=2)
+        # Just before the next full becomes usable at t = 24 + 10 h, the
+        # incremental snapshotted at t = 25 h is NOT yet usable (its base
+        # full is the one still propagating), so the newest usable
+        # snapshot is the previous cycle's incremental at t = 1 h:
+        # worst lag = 34 - 1 = 33 h.  Without the base-full dependency it
+        # would wrongly be 34 - 25 = 9 h.
+        assert cycle.worst_lag() == pytest.approx(33 * HOUR)
+
+    def test_full_availability_delay_uses_full(self, f_plus_i):
+        assert f_plus_i.full_availability_delay() == pytest.approx(49 * HOUR)
+
+    def test_arrivals_per_period(self, f_plus_i):
+        assert f_plus_i.arrivals_per_period() == 6
+
+
+class TestCycleProperties:
+    """Invariants that must hold for any well-formed cycle."""
+
+    @staticmethod
+    @st.composite
+    def cycles(draw):
+        period = draw(st.floats(min_value=1.0, max_value=1e6))
+        n_incr = draw(st.integers(min_value=0, max_value=4))
+        full_hold = draw(st.floats(min_value=0, max_value=period / 2))
+        full_prop = draw(st.floats(min_value=0, max_value=period / 2))
+        events = [RPEvent(offset=0, hold=full_hold, prop=full_prop, is_full=True)]
+        offsets = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=period * 0.01, max_value=period * 0.99),
+                    min_size=n_incr,
+                    max_size=n_incr,
+                    unique=True,
+                )
+            )
+        )
+        for offset in offsets:
+            events.append(
+                RPEvent(
+                    offset=offset,
+                    hold=draw(st.floats(min_value=0, max_value=period / 4)),
+                    prop=draw(st.floats(min_value=0, max_value=period / 4)),
+                    is_full=False,
+                )
+            )
+        retention = draw(st.integers(min_value=1, max_value=10))
+        return CycleModel(period=period, events=events, retention_count=retention)
+
+    @given(cycle=cycles())
+    @settings(max_examples=60, deadline=None)
+    def test_worst_lag_at_least_full_delay(self, cycle):
+        # The level can never be fresher than its hold+prop pipeline.
+        assert cycle.worst_lag() >= cycle.events[0].availability_delay - 1e-9
+
+    @given(cycle=cycles())
+    @settings(max_examples=60, deadline=None)
+    def test_worst_lag_bounded_by_two_periods_plus_delay(self, cycle):
+        bound = 2 * cycle.period + cycle.full_availability_delay() + 1e-9
+        assert cycle.worst_lag() <= bound
+
+    @given(cycle=cycles())
+    @settings(max_examples=60, deadline=None)
+    def test_spacing_at_most_period(self, cycle):
+        assert cycle.worst_spacing() <= cycle.period + 1e-9
+
+    @given(cycle=cycles())
+    @settings(max_examples=60, deadline=None)
+    def test_retention_span_formula(self, cycle):
+        expected = (cycle.retention_count - 1) * cycle.period
+        assert cycle.retention_span() == pytest.approx(expected)

@@ -1,0 +1,63 @@
+"""Trace CSV persistence."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.units import GB, MB
+from repro.workload import SyntheticWorkloadConfig, Trace, generate_trace
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        config = SyntheticWorkloadConfig(
+            data_capacity=256 * MB, duration=300.0,
+            avg_access_rate=2 * MB, avg_update_rate=1 * MB,
+        )
+        original = generate_trace(config, seed=5)
+        path = str(tmp_path / "trace.csv")
+        original.save_csv(path)
+        loaded = Trace.load_csv(path)
+        assert len(loaded) == len(original)
+        assert loaded.data_capacity == original.data_capacity
+        assert loaded.block_size == original.block_size
+        assert (loaded.offsets == original.offsets).all()
+        assert (loaded.is_write == original.is_write).all()
+        assert loaded.timestamps == pytest.approx(original.timestamps, abs=1e-5)
+
+    def test_round_trip_statistics_match(self, tmp_path):
+        config = SyntheticWorkloadConfig(
+            data_capacity=256 * MB, duration=300.0,
+            avg_access_rate=2 * MB, avg_update_rate=1 * MB,
+        )
+        original = generate_trace(config, seed=6)
+        path = str(tmp_path / "trace.csv")
+        original.save_csv(path)
+        loaded = Trace.load_csv(path)
+        assert loaded.written_bytes() == original.written_bytes()
+        assert loaded.unique_written_bytes(0, 300) == original.unique_written_bytes(0, 300)
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        empty = Trace([], [], [], [], data_capacity=1 * GB)
+        path = str(tmp_path / "empty.csv")
+        empty.save_csv(path)
+        loaded = Trace.load_csv(path)
+        assert len(loaded) == 0
+        assert loaded.data_capacity == 1 * GB
+
+    def test_missing_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,offset,size,is_write\n0.0,0,1,1\n")
+        with pytest.raises(WorkloadError):
+            Trace.load_csv(str(path))
+
+    def test_malformed_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# nonsense\ntimestamp,offset,size,is_write\n")
+        with pytest.raises(WorkloadError):
+            Trace.load_csv(str(path))
+
+    def test_wrong_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# data_capacity=100 block_size=10\nwrong,cols\n")
+        with pytest.raises(WorkloadError):
+            Trace.load_csv(str(path))

@@ -1,0 +1,107 @@
+"""Trace container: construction, statistics, slicing, windowed rates."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.units import GB, KB
+from repro.workload import Trace, TraceRecord
+
+
+def make_trace():
+    """Six accesses over ten seconds on a 1 GB object, 4 KB blocks."""
+    return Trace(
+        timestamps=[0.0, 1.0, 2.0, 5.0, 5.0, 10.0],
+        offsets=[0, 4096, 0, 8192, 4096, 0],
+        sizes=[4096] * 6,
+        is_write=[True, True, True, False, True, False],
+        data_capacity=1 * GB,
+        block_size=4096,
+    )
+
+
+class TestRecord:
+    def test_valid_record(self):
+        r = TraceRecord(timestamp=1.0, offset=0, size=4096, is_write=True)
+        assert r.end == 4096
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceRecord(timestamp=-1, offset=0, size=1, is_write=False)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            TraceRecord(timestamp=0, offset=0, size=0, is_write=False)
+
+
+class TestConstruction:
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace([0.0], [0, 1], [10], [True], data_capacity=100)
+
+    def test_decreasing_timestamps_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace([1.0, 0.0], [0, 0], [1, 1], [True, True], data_capacity=100)
+
+    def test_access_beyond_capacity_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trace([0.0], [90], [20], [True], data_capacity=100)
+
+    def test_from_records_round_trip(self):
+        records = [
+            TraceRecord(0.0, 0, 4096, True),
+            TraceRecord(1.0, 4096, 4096, False),
+        ]
+        trace = Trace.from_records(records, data_capacity=1 * GB)
+        assert len(trace) == 2
+        back = list(trace)
+        assert back[0].is_write and not back[1].is_write
+
+    def test_empty_trace(self):
+        trace = Trace([], [], [], [], data_capacity=100)
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+
+
+class TestStatistics:
+    def test_total_bytes(self):
+        assert make_trace().total_bytes() == 6 * 4096
+
+    def test_written_vs_read_split(self):
+        trace = make_trace()
+        assert trace.written_bytes() == 4 * 4096
+        assert trace.read_bytes() == 2 * 4096
+        assert trace.written_bytes() + trace.read_bytes() == trace.total_bytes()
+
+    def test_duration(self):
+        assert make_trace().duration == 10.0
+
+    def test_unique_written_bytes_coalesces_overwrites(self):
+        trace = make_trace()
+        # Writes at t in [0, 3): blocks 0, 1, 0 -> two unique blocks.
+        assert trace.unique_written_bytes(0.0, 3.0) == 2 * 4096
+
+    def test_unique_written_bytes_empty_window(self):
+        trace = make_trace()
+        assert trace.unique_written_bytes(3.0, 4.0) == 0.0
+        assert trace.unique_written_bytes(5.0, 5.0) == 0.0
+
+    def test_slice_rezeroes_timestamps(self):
+        sub = make_trace().slice(2.0, 6.0)
+        assert len(sub) == 3
+        assert sub.timestamps[0] == 0.0
+
+    def test_rate_per_interval_writes_only(self):
+        trace = make_trace()
+        rates = trace.rate_per_interval(1.0, writes_only=True)
+        assert rates[0] == 4096.0  # one 4 KB write in [0, 1)
+        assert rates[3] == 0.0
+        assert rates[5] == 4096.0
+
+    def test_rate_per_interval_requires_positive_interval(self):
+        with pytest.raises(WorkloadError):
+            make_trace().rate_per_interval(0.0)
+
+    def test_write_blocks(self):
+        blocks = make_trace().write_blocks()
+        assert set(np.unique(blocks)) == {0, 1}

@@ -1,0 +1,178 @@
+"""Unit constants, quantity parsing and humanized formatting."""
+
+import math
+
+import pytest
+
+from repro.exceptions import UnitError
+from repro.units import (
+    DAY,
+    GB,
+    HOUR,
+    KB,
+    MB,
+    MBIT,
+    MINUTE,
+    TB,
+    WEEK,
+    YEAR,
+    format_duration,
+    format_money,
+    format_percent,
+    format_rate,
+    format_size,
+    parse_duration,
+    parse_rate,
+    parse_size,
+)
+
+
+class TestConstants:
+    def test_binary_size_ladder(self):
+        assert KB == 1024
+        assert MB == 1024 * KB
+        assert GB == 1024 * MB
+        assert TB == 1024 * GB
+
+    def test_duration_ladder(self):
+        assert MINUTE == 60
+        assert HOUR == 60 * MINUTE
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+        assert YEAR == 365 * DAY
+
+    def test_megabit_is_decimal(self):
+        # Telecom rates are decimal: an OC-3 is 155 * 10**6 / 8 bytes/s.
+        assert MBIT == 1e6 / 8
+
+
+class TestParseSize:
+    def test_plain_number_is_bytes(self):
+        assert parse_size(1234) == 1234.0
+        assert parse_size(12.5) == 12.5
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("1360 GB", 1360 * GB),
+            ("1 MB", MB),
+            ("400GB", 400 * GB),
+            ("73 gb", 73 * GB),
+            ("2 TB", 2 * TB),
+            ("512", 512.0),
+            ("8 KiB", 8 * KB),
+        ],
+    )
+    def test_strings(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_scientific_notation(self):
+        assert parse_size("1e3 MB") == 1000 * MB
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(UnitError):
+            parse_size("10 parsecs")
+
+    def test_garbage_raises(self):
+        with pytest.raises(UnitError):
+            parse_size("not a size")
+
+
+class TestParseRate:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("799 KB/s", 799 * KB),
+            ("25 MB/s", 25 * MB),
+            ("155 Mbps", 155 * MBIT),
+            ("155 Mbit", 155 * MBIT),
+            ("60MB/s", 60 * MB),
+        ],
+    )
+    def test_strings(self, text, expected):
+        assert parse_rate(text) == pytest.approx(expected)
+
+    def test_plain_number_is_bytes_per_second(self):
+        assert parse_rate(1000) == 1000.0
+
+    def test_oc3_conversion(self):
+        # 155 Mbit/s is 19.375 decimal MB/s.
+        assert parse_rate("155 Mbps") == pytest.approx(19.375e6)
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(UnitError):
+            parse_rate("10 furlongs/s")
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("12 hr", 12 * HOUR),
+            ("48h", 48 * HOUR),
+            ("1 wk", WEEK),
+            ("4 wks", 4 * WEEK),
+            ("1 min", MINUTE),
+            ("24 hours", 24 * HOUR),
+            ("3 years", 3 * YEAR),
+            ("0.01 hr", 36.0),
+            ("90", 90.0),
+        ],
+    )
+    def test_strings(self, text, expected):
+        assert parse_duration(text) == pytest.approx(expected)
+
+    def test_plain_number_is_seconds(self):
+        assert parse_duration(3600) == 3600.0
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(UnitError):
+            parse_duration("10 fortnights")
+
+
+class TestFormatting:
+    def test_format_size_picks_prefix(self):
+        assert format_size(1360 * GB) == "1.3 TB"
+        assert format_size(8 * MB) == "8.0 MB"
+        assert format_size(10) == "10 B"
+
+    def test_format_rate(self):
+        assert format_rate(12.4 * MB) == "12.4 MB/s"
+        assert format_rate(727 * KB) == "727.0 KB/s"
+
+    def test_format_duration_paper_styles(self):
+        # The styles the paper's tables use.
+        assert format_duration(0.004) == "0.004 s"
+        assert format_duration(217 * HOUR) == "217.0 hr"
+        assert format_duration(2.4 * HOUR) == "2.4 hr"
+        assert format_duration(90 * MINUTE) == "90.0 min"
+        assert format_duration(26.4 * HOUR) == "26.4 hr"
+        assert format_duration(0) == "0 s"
+
+    def test_format_duration_negative_magnitude(self):
+        assert format_duration(-30) == "-30.0 s"
+
+    def test_format_money(self):
+        assert format_money(11_940_000) == "$11.94M"
+        assert format_money(970_000) == "$970.00K"
+        assert format_money(50.5) == "$50.50"
+
+    def test_format_percent(self):
+        assert format_percent(0.874) == "87.4%"
+        assert format_percent(0.024) == "2.4%"
+
+    def test_round_trip_size(self):
+        # format -> parse returns the same order of magnitude.
+        value = 6.6 * TB
+        assert parse_size(format_size(value)) == pytest.approx(value, rel=0.05)
+
+    def test_formats_are_finite_strings(self):
+        for formatter, value in [
+            (format_size, 123.0),
+            (format_rate, 123.0),
+            (format_duration, 123.0),
+            (format_money, 123.0),
+        ]:
+            text = formatter(value)
+            assert isinstance(text, str) and text
+            assert not math.isnan(value)

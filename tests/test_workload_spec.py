@@ -1,0 +1,197 @@
+"""The Workload dataclass: validation, derived quantities, transforms."""
+
+import pytest
+
+from repro.exceptions import WorkloadError
+from repro.units import GB, HOUR, KB, MB
+from repro.workload import BatchUpdateCurve, Workload
+from repro.workload.presets import cello, oltp_database, web_server
+
+
+@pytest.fixture
+def simple_curve():
+    return BatchUpdateCurve({"1 min": 100 * KB, "1 hr": 50 * KB})
+
+
+def make_workload(curve, **overrides):
+    params = dict(
+        name="test",
+        data_capacity=100 * GB,
+        avg_access_rate=1 * MB,
+        avg_update_rate=500 * KB,
+        burst_multiplier=5.0,
+        batch_curve=curve,
+    )
+    params.update(overrides)
+    return Workload(**params)
+
+
+class TestValidation:
+    def test_valid_workload(self, simple_curve):
+        w = make_workload(simple_curve)
+        assert w.data_capacity == 100 * GB
+
+    def test_string_parameters(self, simple_curve):
+        w = make_workload(
+            simple_curve,
+            data_capacity="1360 GB",
+            avg_access_rate="1028 KB/s",
+            avg_update_rate="799 KB/s",
+        )
+        assert w.data_capacity == 1360 * GB
+        assert w.avg_update_rate == 799 * KB
+
+    def test_zero_capacity_rejected(self, simple_curve):
+        with pytest.raises(WorkloadError):
+            make_workload(simple_curve, data_capacity=0)
+
+    def test_update_rate_above_access_rate_rejected(self, simple_curve):
+        with pytest.raises(WorkloadError):
+            make_workload(
+                simple_curve, avg_access_rate=100 * KB, avg_update_rate=200 * KB
+            )
+
+    def test_burst_below_one_rejected(self, simple_curve):
+        with pytest.raises(WorkloadError):
+            make_workload(simple_curve, burst_multiplier=0.5)
+
+    def test_bad_batch_curve_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_workload("not a curve")
+
+    def test_negative_rate_rejected(self, simple_curve):
+        with pytest.raises(WorkloadError):
+            make_workload(simple_curve, avg_access_rate=-1)
+
+
+class TestDerivedQuantities:
+    def test_peak_update_rate(self, simple_curve):
+        w = make_workload(simple_curve)
+        assert w.peak_update_rate == pytest.approx(5 * 500 * KB)
+
+    def test_read_rate(self, simple_curve):
+        w = make_workload(simple_curve)
+        assert w.avg_read_rate == pytest.approx(1 * MB - 500 * KB)
+
+    def test_batch_update_rate_delegates_to_curve(self, simple_curve):
+        w = make_workload(simple_curve)
+        assert w.batch_update_rate("1 hr") == pytest.approx(50 * KB)
+
+    def test_unique_bytes_capped_by_capacity(self, simple_curve):
+        w = make_workload(simple_curve, data_capacity=1 * MB)
+        # An hour of 50 KB/s unique updates far exceeds 1 MB of data.
+        assert w.unique_bytes("1 hr") == 1 * MB
+
+    def test_update_fraction_in_unit_interval(self, simple_curve):
+        w = make_workload(simple_curve)
+        fraction = w.update_fraction("1 hr")
+        assert 0 <= fraction <= 1
+
+    def test_full_coverage_window_positive(self, simple_curve):
+        w = make_workload(simple_curve)
+        assert w.full_coverage_window() > 0
+
+    def test_full_coverage_window_infinite_for_zero_updates(self):
+        curve = BatchUpdateCurve({"1 hr": 0.0})
+        w = make_workload(curve, avg_update_rate=0.0)
+        assert w.full_coverage_window() == float("inf")
+
+
+class TestTransforms:
+    def test_with_capacity(self, simple_curve):
+        w = make_workload(simple_curve).with_capacity("200 GB")
+        assert w.data_capacity == 200 * GB
+        assert w.avg_access_rate == 1 * MB
+
+    def test_scaled(self, simple_curve):
+        w = make_workload(simple_curve).scaled(2.0)
+        assert w.avg_access_rate == pytest.approx(2 * MB)
+        assert w.avg_update_rate == pytest.approx(1000 * KB)
+        assert w.batch_update_rate("1 hr") == pytest.approx(100 * KB)
+
+    def test_scaled_zero_rejected(self, simple_curve):
+        with pytest.raises(WorkloadError):
+            make_workload(simple_curve).scaled(0)
+
+    def test_describe_mentions_name(self, simple_curve):
+        assert "test" in make_workload(simple_curve).describe()
+
+
+class TestCombined:
+    def test_capacities_and_rates_add(self):
+        a = cello()
+        b = oltp_database()
+        c = a.combined(b)
+        assert c.data_capacity == a.data_capacity + b.data_capacity
+        assert c.avg_access_rate == a.avg_access_rate + b.avg_access_rate
+        assert c.avg_update_rate == a.avg_update_rate + b.avg_update_rate
+
+    def test_unique_bytes_add(self):
+        a = cello()
+        b = oltp_database()
+        c = a.combined(b)
+        for window in ("1 min", "12 hr", "24 hr"):
+            assert c.batch_curve.unique_bytes(window) == pytest.approx(
+                a.batch_curve.unique_bytes(window)
+                + b.batch_curve.unique_bytes(window)
+            )
+
+    def test_peak_rates_add_conservatively(self):
+        a = cello()
+        b = oltp_database()
+        c = a.combined(b)
+        assert c.peak_update_rate == pytest.approx(
+            a.peak_update_rate + b.peak_update_rate
+        )
+
+    def test_combined_name(self):
+        c = cello().combined(oltp_database(), name="consolidated")
+        assert c.name == "consolidated"
+
+    def test_combined_is_valid_curve(self):
+        """The summed curve must satisfy both monotonicity invariants."""
+        c = cello().combined(web_server())
+        windows = c.batch_curve.sample_windows()
+        rates = [c.batch_curve.rate(w) for w in windows]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_combined_evaluates_end_to_end(self):
+        import repro
+        from repro import casestudy
+
+        consolidated = cello().combined(oltp_database())
+        result = repro.evaluate(
+            casestudy.baseline_design(),
+            consolidated,
+            repro.FailureScenario.array_failure("primary-array"),
+            casestudy.case_study_requirements(),
+            strict_utilization=False,
+        )
+        assert result.recent_data_loss > 0
+
+
+class TestPresets:
+    def test_cello_matches_table2(self):
+        w = cello()
+        assert w.data_capacity == 1360 * GB
+        assert w.avg_access_rate == 1028 * KB
+        assert w.avg_update_rate == 799 * KB
+        assert w.burst_multiplier == 10.0
+        assert w.batch_update_rate("1 min") == pytest.approx(727 * KB)
+        assert w.batch_update_rate("12 hr") == pytest.approx(350 * KB)
+        assert w.batch_update_rate("24 hr") == pytest.approx(317 * KB)
+        assert w.batch_update_rate("48 hr") == pytest.approx(317 * KB)
+        assert w.batch_update_rate("1 wk") == pytest.approx(317 * KB)
+
+    def test_cello_resilver_window_rate(self):
+        # The split mirror resilver window (60 h) sits between the 48 h
+        # and 1 wk samples, both 317 KB/s.
+        assert cello().batch_update_rate(60 * HOUR) == pytest.approx(
+            317 * KB, rel=0.01
+        )
+
+    def test_other_presets_are_valid(self):
+        for preset in (oltp_database(), web_server()):
+            assert preset.data_capacity > 0
+            assert preset.avg_update_rate <= preset.avg_access_rate
+            assert preset.burst_multiplier >= 1
