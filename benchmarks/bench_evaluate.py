@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Micro-benchmark of the evaluation hot paths, with an overhead gate.
+
+Times ``evaluate``, ``evaluate_scenarios`` and ``optimize`` on the
+DSN'04 cello case study in three configurations:
+
+* **disabled** — the default no-op tracer/metrics (what production pays);
+* **enabled** — a real :class:`~repro.obs.Tracer` and
+  :class:`~repro.obs.MetricsRegistry` installed;
+* an **estimated uninstrumented baseline**: the disabled time minus the
+  measured per-call cost of a no-op span/metric emission times the
+  number of emissions one call makes.  Direct A/B timing of "code with
+  the call sites deleted" is impossible without patching sources, and
+  the per-emission cost (~100 ns) times the emission count is a tight,
+  noise-free bound on what the call sites add.
+
+Writes ``BENCH_evaluate.json`` at the repo root and exits non-zero if
+the estimated disabled-instrumentation overhead reaches 5% on any
+benched operation.
+
+Run:  python benchmarks/bench_evaluate.py
+"""
+
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import casestudy, obs  # noqa: E402
+from repro.core.evaluate import evaluate, evaluate_scenarios  # noqa: E402
+from repro.design import DesignSpace, candidate_designs, optimize  # noqa: E402
+from repro.obs.export import span_records  # noqa: E402
+from repro.workload.presets import cello  # noqa: E402
+
+REPEATS = 30
+OVERHEAD_THRESHOLD = 0.05
+
+
+def _median_ms(fn, repeats=REPEATS) -> float:
+    """Median wall-clock milliseconds of ``fn()`` over ``repeats`` runs."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append((time.perf_counter() - t0) * 1e3)
+    return statistics.median(times)
+
+
+def _noop_emission_cost_ms() -> float:
+    """Per-call milliseconds of one disabled span + one disabled counter."""
+    tracer = obs.get_tracer()
+    metrics = obs.get_metrics()
+    assert not tracer.enabled and not metrics.enabled, "obs must be disabled"
+    n = 100_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        with tracer.span("bench.noop"):
+            metrics.inc("bench.noop")
+    return (time.perf_counter() - t0) * 1e3 / n
+
+
+def _emission_count(fn) -> int:
+    """How many spans + metric emissions one ``fn()`` call makes."""
+    tracer = obs.set_tracer(obs.Tracer())
+    registry = obs.set_metrics(obs.MetricsRegistry())
+    try:
+        fn()
+        spans = len(span_records(tracer))
+        snapshot = registry.snapshot()
+        metric_ops = int(sum(snapshot["counters"].values()))
+        metric_ops += len(snapshot["gauges"])
+        metric_ops += sum(h["count"] for h in snapshot["histograms"].values())
+        return spans + metric_ops
+    finally:
+        obs.reset()
+
+
+def bench_operations():
+    """The benched operations: fresh inputs per call (ledgers are stateful)."""
+    workload = cello()
+    requirements = casestudy.case_study_requirements()
+    scenarios = casestudy.case_study_scenarios()
+    array_failure = casestudy.array_failure_scenario()
+
+    def bench_evaluate():
+        evaluate(casestudy.baseline_design(), workload, array_failure, requirements)
+
+    def bench_evaluate_scenarios():
+        evaluate_scenarios(
+            casestudy.baseline_design(), workload, scenarios, requirements
+        )
+
+    def bench_optimize():
+        optimize(
+            candidate_designs(DesignSpace()),
+            workload,
+            [array_failure, casestudy.site_failure_scenario()],
+            requirements,
+        )
+
+    return {
+        "evaluate": bench_evaluate,
+        "evaluate_scenarios": bench_evaluate_scenarios,
+        "optimize": bench_optimize,
+    }
+
+
+def main() -> int:
+    obs.reset()
+    operations = bench_operations()
+    noop_cost_ms = _noop_emission_cost_ms()
+
+    results = {}
+    worst_overhead = 0.0
+    for name, fn in operations.items():
+        disabled_ms = _median_ms(fn)
+        with_obs = _emission_count(fn)
+        tracer = obs.set_tracer(obs.Tracer())
+        registry = obs.set_metrics(obs.MetricsRegistry())
+        try:
+            enabled_ms = _median_ms(fn)
+        finally:
+            obs.reset()
+        overhead = (with_obs * noop_cost_ms) / disabled_ms
+        worst_overhead = max(worst_overhead, overhead)
+        results[name] = {
+            "disabled_ms": round(disabled_ms, 4),
+            "enabled_ms": round(enabled_ms, 4),
+            "emissions_per_call": with_obs,
+            "estimated_disabled_overhead": round(overhead, 6),
+        }
+        print(
+            f"{name:>20}: disabled {disabled_ms:8.3f} ms | enabled "
+            f"{enabled_ms:8.3f} ms | {with_obs:5d} emissions | "
+            f"est. disabled overhead {overhead * 100:.3f}%"
+        )
+
+    payload = {
+        "benchmark": "bench_evaluate",
+        "workload": "cello",
+        "repeats": REPEATS,
+        "python": sys.version.split()[0],
+        "noop_emission_cost_us": round(noop_cost_ms * 1e3, 4),
+        "results": results,
+        "overhead_gate": {
+            "threshold": OVERHEAD_THRESHOLD,
+            "worst_estimated_overhead": round(worst_overhead, 6),
+            "pass": worst_overhead < OVERHEAD_THRESHOLD,
+        },
+    }
+    out_path = REPO_ROOT / "BENCH_evaluate.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+    if worst_overhead >= OVERHEAD_THRESHOLD:
+        print(
+            f"FAIL: estimated disabled-instrumentation overhead "
+            f"{worst_overhead * 100:.2f}% >= {OVERHEAD_THRESHOLD * 100:.0f}%",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"OK: estimated disabled-instrumentation overhead "
+        f"{worst_overhead * 100:.3f}% < {OVERHEAD_THRESHOLD * 100:.0f}%"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,7 +27,7 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record of every table and figure.
 """
 
-from . import casestudy, units, workload
+from . import casestudy, obs, units, workload
 from .core import (
     Assessment,
     Level,
@@ -85,6 +85,7 @@ __version__ = "1.0.0"
 __all__ = [
     # sub-modules kept importable as namespaces
     "casestudy",
+    "obs",
     "units",
     "workload",
     # workload

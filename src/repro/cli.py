@@ -6,6 +6,12 @@ Usage::
     python -m repro evaluate spec.json         # evaluate a JSON spec
     python -m repro list-designs               # named designs available
 
+``case-study``, ``evaluate`` and ``optimize`` additionally accept
+observability flags: ``--trace`` prints a per-phase span tree plus a
+provenance explanation of each output metric, ``--metrics`` prints the
+run's metrics table, and ``--trace-out PATH`` writes spans and metrics
+as JSON lines for offline analysis.
+
 A spec file looks like::
 
     {
@@ -34,6 +40,13 @@ from .casestudy import (
 )
 from .core.evaluate import evaluate_scenarios
 from .exceptions import ReproError
+from .obs import MetricsRegistry, Tracer, set_metrics, set_tracer, write_trace_jsonl
+from .obs import reset as reset_obs
+from .reporting.obs_report import (
+    metrics_report,
+    provenance_report,
+    span_tree_report,
+)
 from .reporting.report import (
     cost_breakdown_report,
     dependability_report,
@@ -49,7 +62,7 @@ from .serialization import (
 from .workload.presets import cello
 
 
-def _cmd_case_study(_args: argparse.Namespace) -> int:
+def _cmd_case_study(args: argparse.Namespace) -> int:
     """Print the paper's Tables 5, 6 and the Figure 5 breakdown."""
     workload = cello()
     requirements = case_study_requirements()
@@ -76,6 +89,9 @@ def _cmd_case_study(_args: argparse.Namespace) -> int:
         grid[name] = assessments
         labels = list(assessments.keys())
     print(whatif_report(grid, labels, title="Table 7: what-if scenarios"))
+    if getattr(args, "trace", False):
+        print()
+        print(provenance_report(results, title="Provenance: baseline design"))
     return 0
 
 
@@ -108,6 +124,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
             print()
             print(f"[{label}]")
             print(assessment.recovery.render_timeline())
+    if getattr(args, "trace", False):
+        print()
+        print(provenance_report(results))
     if any(not a.meets_objectives for a in results.values()):
         print()
         print("WARNING: declared RTO/RPO objectives are violated")
@@ -171,6 +190,26 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0 if outcome.best is not None else 1
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags of the evaluating subcommands."""
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print a per-phase span tree and provenance explanations",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write spans and metrics as JSON lines to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's metrics (counters, gauges, histograms)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for doc generation and tests)."""
     parser = argparse.ArgumentParser(
@@ -181,10 +220,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     case = sub.add_parser("case-study", help="reproduce the paper's case study")
+    _add_obs_flags(case)
     case.set_defaults(func=_cmd_case_study)
 
     ev = sub.add_parser("evaluate", help="evaluate a JSON spec file")
     ev.add_argument("spec", help="path to the JSON spec")
+    _add_obs_flags(ev)
     ev.set_defaults(func=_cmd_evaluate)
 
     ls = sub.add_parser("list-designs", help="list named designs")
@@ -200,6 +241,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     opt.add_argument("--rto", default=None, help='recovery time objective, e.g. "4 hr"')
     opt.add_argument("--rpo", default=None, help='recovery point objective, e.g. "1 hr"')
+    _add_obs_flags(opt)
     opt.set_defaults(func=_cmd_optimize)
     return parser
 
@@ -208,14 +250,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    trace = getattr(args, "trace", False)
+    trace_out = getattr(args, "trace_out", None)
+    want_metrics = getattr(args, "metrics", False)
+    tracer = set_tracer(Tracer()) if (trace or trace_out) else None
+    registry = (
+        set_metrics(MetricsRegistry()) if (want_metrics or trace_out) else None
+    )
     try:
-        return args.func(args)
-    except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
-    except FileNotFoundError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+        try:
+            code = args.func(args)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            code = 2
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            code = 2
+        if tracer is not None and trace:
+            print()
+            print(span_tree_report(tracer))
+        if registry is not None and want_metrics:
+            print()
+            print(metrics_report(registry))
+        if trace_out is not None:
+            try:
+                count = write_trace_jsonl(
+                    trace_out, tracer=tracer, metrics=registry
+                )
+            except OSError as exc:
+                print(f"error: cannot write trace: {exc}", file=sys.stderr)
+                return 2
+            print(f"wrote {count} trace records to {trace_out}", file=sys.stderr)
+        return code
+    finally:
+        if tracer is not None or registry is not None:
+            reset_obs()
 
 
 if __name__ == "__main__":

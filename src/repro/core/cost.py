@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from ..obs import get_metrics, get_tracer
 from ..scenarios.requirements import BusinessRequirements
 from ..units import format_money
 from .dataloss import DataLossResult
@@ -107,17 +108,25 @@ def compute_costs(
     wanted); missing results contribute zero penalty.  A total-loss
     scenario has an unbounded loss penalty, represented as ``inf``.
     """
-    outage_penalty = 0.0
-    loss_penalty = 0.0
-    if plan is not None:
-        outage_penalty = requirements.outage_penalty(plan.recovery_time)
-    if loss is not None:
-        if loss.total_loss:
-            loss_penalty = float("inf")
-        else:
-            loss_penalty = requirements.loss_penalty(loss.data_loss)
-    return CostBreakdown(
-        outlays_by_technique=compute_outlays(design),
-        outage_penalty=outage_penalty,
-        loss_penalty=loss_penalty,
-    )
+    tracer = get_tracer()
+    with tracer.span("cost.compute", design=design.name) as span:
+        outage_penalty = 0.0
+        loss_penalty = 0.0
+        if plan is not None:
+            outage_penalty = requirements.outage_penalty(plan.recovery_time)
+        if loss is not None:
+            if loss.total_loss:
+                loss_penalty = float("inf")
+            else:
+                loss_penalty = requirements.loss_penalty(loss.data_loss)
+        breakdown = CostBreakdown(
+            outlays_by_technique=compute_outlays(design),
+            outage_penalty=outage_penalty,
+            loss_penalty=loss_penalty,
+        )
+        span.set(
+            outlays=breakdown.total_outlays,
+            penalties=breakdown.total_penalties,
+        )
+        get_metrics().inc("cost.computations")
+        return breakdown

@@ -12,13 +12,23 @@ failure scenario and set of business requirements:
 
 :func:`evaluate_scenarios` amortizes steps 1–3 across several scenarios
 (the case study evaluates object / array / site failures of one design).
+
+Every step emits spans and metrics through :mod:`repro.obs` (no-ops
+unless a tracer/registry is installed), and each returned
+:class:`~repro.core.results.Assessment` carries an
+:class:`~repro.obs.provenance.EvaluationProvenance` recording the
+decisions made along the way — including recovery-planning failures,
+which used to be swallowed silently.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional
+from time import perf_counter
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..exceptions import RecoveryError
+from ..obs import get_metrics, get_tracer
+from ..obs.provenance import EvaluationProvenance
 from ..scenarios.failures import FailureScenario
 from ..scenarios.requirements import BusinessRequirements
 from ..workload.spec import Workload
@@ -32,24 +42,149 @@ from .utilization import SystemUtilization, compute_utilization
 from .validate import validate_design
 
 
+def _utilization_driver(utilization: SystemUtilization) -> str:
+    """Which device and dimension set the headline utilization."""
+    if utilization.max_bandwidth_utilization >= utilization.max_capacity_utilization:
+        return f"bandwidth of {utilization.max_bandwidth_device}"
+    return f"capacity of {utilization.max_capacity_device}"
+
+
+def _prepare(
+    design: StorageDesign,
+    workload: Workload,
+    strict_utilization: bool,
+) -> "Tuple[SystemUtilization, List[str], Dict[str, float]]":
+    """Shared steps 1–3: validate, register demands, utilization.
+
+    Returns the utilization, the validation warnings and (when tracing)
+    the per-phase wall-clock timings in milliseconds.
+    """
+    tracer = get_tracer()
+    timed = tracer.enabled
+    phase_ms: "Dict[str, float]" = {}
+
+    with tracer.span("validate", design=design.name):
+        if timed:
+            t0 = perf_counter()
+        warnings = validate_design(design, workload, strict=True)
+        if timed:
+            phase_ms["validate"] = (perf_counter() - t0) * 1e3
+    with tracer.span("demands", design=design.name):
+        if timed:
+            t0 = perf_counter()
+        register_design_demands(design, workload)
+        if timed:
+            phase_ms["demands"] = (perf_counter() - t0) * 1e3
+    if timed:
+        t0 = perf_counter()
+    utilization = compute_utilization(design, strict=strict_utilization)
+    if timed:
+        phase_ms["utilization"] = (perf_counter() - t0) * 1e3
+    return utilization, warnings, phase_ms
+
+
 def _assess(
     design: StorageDesign,
     workload: Workload,
     scenario: FailureScenario,
     requirements: BusinessRequirements,
     utilization: SystemUtilization,
+    validation_warnings: "Iterable[str]" = (),
+    shared_phase_ms: "Optional[Dict[str, float]]" = None,
 ) -> Assessment:
     """Steps 4–6 for one scenario, given the shared normal-mode state."""
-    loss = compute_data_loss(design, scenario, allow_total_loss=True)
-    plan: Optional[RecoveryPlan]
-    if loss.total_loss:
-        plan = None
+    tracer = get_tracer()
+    metrics = get_metrics()
+    timed = tracer.enabled
+    phase_ms: "Dict[str, float]" = dict(shared_phase_ms or {})
+    metrics.inc("evaluate.assessments")
+
+    with tracer.span("assess", scenario=scenario.describe()) as span:
+        if timed:
+            t0 = perf_counter()
+        loss = compute_data_loss(design, scenario, allow_total_loss=True)
+        if timed:
+            phase_ms["dataloss"] = (perf_counter() - t0) * 1e3
+
+        plan: Optional[RecoveryPlan] = None
+        recovery_failure: Optional[str] = None
+        if loss.total_loss:
+            metrics.inc("recovery.total_loss")
+            recovery_failure = (
+                "total loss: no surviving level retains a usable RP"
+            )
+        else:
+            if timed:
+                t0 = perf_counter()
+            try:
+                plan = plan_recovery(design, scenario, workload, loss_result=loss)
+            except RecoveryError as exc:
+                # Record the failure instead of dropping it on the floor:
+                # the assessment's unbounded recovery time stays explainable.
+                metrics.inc("recovery.plan_failed")
+                recovery_failure = str(exc)
+            if timed:
+                phase_ms["recovery"] = (perf_counter() - t0) * 1e3
+
+        if timed:
+            t0 = perf_counter()
+        costs = compute_costs(design, requirements, loss=loss, plan=plan)
+        if timed:
+            phase_ms["cost"] = (perf_counter() - t0) * 1e3
+
+        span.set(
+            source=loss.source_name,
+            total_loss=loss.total_loss,
+            recovery_planned=plan is not None,
+        )
+
+    decisions: "List[str]" = []
+    if loss.source_level is not None:
+        decisions.append(
+            f"recovery source: {loss.source_name} "
+            f"(level {loss.source_level.index})"
+        )
     else:
-        try:
-            plan = plan_recovery(design, scenario, workload, loss_result=loss)
-        except RecoveryError:
-            plan = None
-    costs = compute_costs(design, requirements, loss=loss, plan=plan)
+        decisions.append("no usable recovery source: total loss")
+    if recovery_failure is not None:
+        decisions.append(f"recovery planning failed: {recovery_failure}")
+    dominant_outlay = (
+        max(costs.outlays_by_technique, key=costs.outlays_by_technique.get)
+        if costs.outlays_by_technique
+        else None
+    )
+    if costs.total_penalties > 0:
+        dominant_penalty = (
+            "loss" if costs.loss_penalty > costs.outage_penalty else "outage"
+        )
+        decisions.append(f"dominant penalty term: {dominant_penalty}")
+    else:
+        dominant_penalty = None
+    if dominant_outlay is not None:
+        decisions.append(f"dominant outlay: {dominant_outlay}")
+    warnings = tuple(validation_warnings)
+    if warnings:
+        decisions.append(f"{len(warnings)} validation warning(s)")
+
+    provenance = EvaluationProvenance(
+        design_name=design.name,
+        scenario=scenario.describe(),
+        scenario_scope=scenario.scope.value,
+        recovery_target_age=scenario.recovery_target_age,
+        recovery_size=None if plan is None else plan.recovery_size,
+        validation_warnings=warnings,
+        recovery_source=None if loss.source_level is None else loss.source_name,
+        recovery_source_level=(
+            None if loss.source_level is None else loss.source_level.index
+        ),
+        recovery_failure=recovery_failure,
+        total_loss=loss.total_loss,
+        utilization_driver=_utilization_driver(utilization),
+        dominant_outlay=dominant_outlay,
+        dominant_penalty=dominant_penalty,
+        phase_ms=phase_ms,
+        decisions=tuple(decisions),
+    )
     return Assessment(
         design_name=design.name,
         scenario=scenario,
@@ -58,6 +193,7 @@ def _assess(
         data_loss=loss,
         recovery=plan,
         costs=costs,
+        provenance=provenance,
     )
 
 
@@ -69,10 +205,23 @@ def evaluate(
     strict_utilization: bool = True,
 ) -> Assessment:
     """Evaluate one design against one failure scenario."""
-    validate_design(design, workload, strict=True)
-    register_design_demands(design, workload)
-    utilization = compute_utilization(design, strict=strict_utilization)
-    return _assess(design, workload, scenario, requirements, utilization)
+    tracer = get_tracer()
+    get_metrics().inc("evaluate.calls")
+    with tracer.span(
+        "evaluate", design=design.name, scenario=scenario.describe()
+    ):
+        utilization, warnings, phase_ms = _prepare(
+            design, workload, strict_utilization
+        )
+        return _assess(
+            design,
+            workload,
+            scenario,
+            requirements,
+            utilization,
+            validation_warnings=warnings,
+            shared_phase_ms=phase_ms,
+        )
 
 
 def evaluate_scenarios(
@@ -87,12 +236,23 @@ def evaluate_scenarios(
     Returns ``{scenario description: assessment}`` in input order.
     Validation, demand registration and utilization run once.
     """
-    validate_design(design, workload, strict=True)
-    register_design_demands(design, workload)
-    utilization = compute_utilization(design, strict=strict_utilization)
-    return {
-        scenario.describe(): _assess(
-            design, workload, scenario, requirements, utilization
+    tracer = get_tracer()
+    metrics = get_metrics()
+    metrics.inc("evaluate.calls")
+    with tracer.span("evaluate_scenarios", design=design.name):
+        utilization, warnings, phase_ms = _prepare(
+            design, workload, strict_utilization
         )
-        for scenario in scenarios
-    }
+        results: "Dict[str, Assessment]" = {}
+        for scenario in scenarios:
+            metrics.inc("evaluate.scenarios")
+            results[scenario.describe()] = _assess(
+                design,
+                workload,
+                scenario,
+                requirements,
+                utilization,
+                validation_warnings=warnings,
+                shared_phase_ms=phase_ms,
+            )
+        return results

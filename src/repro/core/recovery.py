@@ -24,12 +24,14 @@ Figure 4 dependency chart can be rendered.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 from ..devices.base import Device
 from ..devices.interconnect import Shipment
 from ..devices.spares import SpareType
 from ..exceptions import RecoveryError
+from ..obs import get_metrics, get_tracer
 from ..scenarios.failures import FailureScenario, FailureScope
 from ..units import format_duration, format_size
 from ..workload.spec import Workload
@@ -188,6 +190,32 @@ def plan_recovery(
     them).  Raises :class:`~repro.exceptions.RecoveryError` when the
     scenario is unrecoverable.
     """
+    tracer = get_tracer()
+    metrics = get_metrics()
+    timed = metrics.enabled
+    if timed:
+        t0 = perf_counter()
+    with tracer.span("recovery.plan", scenario=scenario.describe()) as span:
+        plan = _build_plan(design, scenario, workload, loss_result)
+        span.set(
+            source=plan.source_name,
+            recovery_size=plan.recovery_size,
+            steps=len(plan.steps),
+            recovery_time=plan.recovery_time,
+        )
+    metrics.inc("recovery.plans")
+    metrics.inc("recovery.steps", len(plan.steps))
+    if timed:
+        metrics.observe("recovery.plan_ms", (perf_counter() - t0) * 1e3)
+    return plan
+
+
+def _build_plan(
+    design: StorageDesign,
+    scenario: FailureScenario,
+    workload: Workload,
+    loss_result: Optional[DataLossResult],
+) -> RecoveryPlan:
     if loss_result is None:
         loss_result = find_recovery_source(design, scenario)
     if loss_result.source_level is None:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from ..obs.provenance import EvaluationProvenance, explain_assessment
 from ..scenarios.failures import FailureScenario
 from ..scenarios.requirements import BusinessRequirements
 from ..units import format_duration, format_money, format_percent
@@ -31,6 +32,9 @@ class Assessment:
     data_loss: DataLossResult
     recovery: Optional[RecoveryPlan]
     costs: CostBreakdown
+    #: Why the numbers came out this way (None only for hand-built
+    #: assessments that bypassed :func:`~repro.core.evaluate.evaluate`).
+    provenance: Optional[EvaluationProvenance] = None
 
     # -- the paper's four output metrics --------------------------------------
 
@@ -64,6 +68,10 @@ class Assessment:
         return self.requirements.meets_objectives(
             self.recovery_time, self.recent_data_loss
         )
+
+    def explain(self) -> str:
+        """Why each of the four metrics came out this way (per line)."""
+        return explain_assessment(self)
 
     def summary(self) -> str:
         """The Table 6 style one-liner for this scenario."""

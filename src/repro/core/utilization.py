@@ -14,6 +14,7 @@ from typing import Optional, Tuple
 
 from ..devices.base import DeviceUtilization
 from ..exceptions import BandwidthExceededError, CapacityExceededError
+from ..obs import get_metrics, get_tracer
 from .hierarchy import StorageDesign
 
 
@@ -66,21 +67,32 @@ def compute_utilization(design: StorageDesign, strict: bool = False) -> SystemUt
     :func:`~repro.core.demands.register_design_demands`).  With
     ``strict=True`` an over-committed device raises immediately.
     """
-    reports = tuple(device.utilization() for device in design.devices())
-    max_cap, max_cap_dev = 0.0, None
-    max_bw, max_bw_dev = 0.0, None
-    for report in reports:
-        if report.capacity_utilization > max_cap:
-            max_cap, max_cap_dev = report.capacity_utilization, report.device_name
-        if report.bandwidth_utilization > max_bw:
-            max_bw, max_bw_dev = report.bandwidth_utilization, report.device_name
-    result = SystemUtilization(
-        devices=reports,
-        max_capacity_utilization=max_cap,
-        max_capacity_device=max_cap_dev,
-        max_bandwidth_utilization=max_bw,
-        max_bandwidth_device=max_bw_dev,
-    )
-    if strict:
-        result.raise_if_overcommitted()
-    return result
+    tracer = get_tracer()
+    metrics = get_metrics()
+    with tracer.span("utilization.compute", design=design.name) as span:
+        reports = tuple(device.utilization() for device in design.devices())
+        max_cap, max_cap_dev = 0.0, None
+        max_bw, max_bw_dev = 0.0, None
+        for report in reports:
+            if report.capacity_utilization > max_cap:
+                max_cap, max_cap_dev = report.capacity_utilization, report.device_name
+            if report.bandwidth_utilization > max_bw:
+                max_bw, max_bw_dev = report.bandwidth_utilization, report.device_name
+        result = SystemUtilization(
+            devices=reports,
+            max_capacity_utilization=max_cap,
+            max_capacity_device=max_cap_dev,
+            max_bandwidth_utilization=max_bw,
+            max_bandwidth_device=max_bw_dev,
+        )
+        span.set(
+            devices=len(reports),
+            max_capacity=max_cap,
+            max_bandwidth=max_bw,
+        )
+        metrics.inc("utilization.computations")
+        metrics.set_gauge("utilization.max_capacity", max_cap)
+        metrics.set_gauge("utilization.max_bandwidth", max_bw)
+        if strict:
+            result.raise_if_overcommitted()
+        return result

@@ -18,6 +18,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.hierarchy import StorageDesign
 from ..exceptions import OptimizationError, ReproError
+from ..obs import get_metrics, get_tracer
 from ..scenarios.failures import FailureScenario
 from ..scenarios.requirements import BusinessRequirements
 from ..workload.spec import Workload
@@ -82,27 +83,42 @@ def optimize(
     Raises :class:`~repro.exceptions.OptimizationError` only when *no*
     candidate could even be evaluated.
     """
+    tracer = get_tracer()
+    metrics = get_metrics()
     evaluated: "List[RankedDesign]" = []
     skipped: "Dict[str, str]" = {}
-    for name, factory in candidates.items():
-        try:
-            results = run_whatif({name: factory}, workload, scenarios, requirements)
-        except ReproError as exc:
-            skipped[name] = str(exc)
-            continue
-        result = results[0]
-        evaluated.append(
-            RankedDesign(result=result, feasible=result.meets_objectives)
+    with tracer.span("optimizer.optimize", candidates=len(candidates)) as span:
+        for name, factory in candidates.items():
+            metrics.inc("optimizer.candidates")
+            with tracer.span("optimizer.candidate", name=name) as candidate_span:
+                try:
+                    results = run_whatif(
+                        {name: factory}, workload, scenarios, requirements
+                    )
+                except ReproError as exc:
+                    metrics.inc("optimizer.designs_pruned")
+                    candidate_span.set(pruned=str(exc))
+                    skipped[name] = str(exc)
+                    continue
+                result = results[0]
+                candidate_span.set(
+                    feasible=result.meets_objectives,
+                    objective=result.worst_total_cost,
+                )
+            evaluated.append(
+                RankedDesign(result=result, feasible=result.meets_objectives)
+            )
+        if not evaluated:
+            raise OptimizationError(
+                "no candidate design could be evaluated: "
+                + "; ".join(f"{k}: {v}" for k, v in skipped.items())
+            )
+        ranking = tuple(sorted(evaluated, key=lambda entry: entry.objective))
+        feasible = [entry for entry in ranking if entry.feasible]
+        metrics.inc("optimizer.feasible", len(feasible))
+        span.set(evaluated=len(evaluated), pruned=len(skipped), feasible=len(feasible))
+        return OptimizationOutcome(
+            best=feasible[0] if feasible else None,
+            ranking=ranking,
+            skipped=skipped,
         )
-    if not evaluated:
-        raise OptimizationError(
-            "no candidate design could be evaluated: "
-            + "; ".join(f"{k}: {v}" for k, v in skipped.items())
-        )
-    ranking = tuple(sorted(evaluated, key=lambda entry: entry.objective))
-    feasible = [entry for entry in ranking if entry.feasible]
-    return OptimizationOutcome(
-        best=feasible[0] if feasible else None,
-        ranking=ranking,
-        skipped=skipped,
-    )

@@ -18,6 +18,7 @@ from typing import Callable, List, Sequence, Union
 from .. import casestudy
 from ..core.evaluate import evaluate
 from ..core.hierarchy import StorageDesign
+from ..obs import get_metrics, get_tracer
 from ..scenarios.failures import FailureScenario
 from ..scenarios.requirements import BusinessRequirements
 from ..units import parse_duration
@@ -42,7 +43,11 @@ def _assess_point(
     scenario: FailureScenario,
     requirements: BusinessRequirements,
 ) -> SweepPoint:
-    assessment = evaluate(design, workload, scenario, requirements)
+    get_metrics().inc("sensitivity.points")
+    with get_tracer().span(
+        "sensitivity.point", design=design.name, parameter=parameter
+    ):
+        assessment = evaluate(design, workload, scenario, requirements)
     return SweepPoint(
         parameter=parameter,
         system_utilization=assessment.system_utilization,

@@ -1,0 +1,84 @@
+"""Observability: structured tracing, metrics and evaluation provenance.
+
+Zero-dependency instrumentation for the evaluation pipeline:
+
+* :mod:`repro.obs.spans` — the :class:`Span` tree node: one timed
+  operation, with attributes and nested children;
+* :mod:`repro.obs.tracer` — the :class:`Tracer` collecting span trees,
+  plus the injectable process-global current tracer (a no-op
+  :data:`NULL_TRACER` by default, so instrumented code pays a single
+  attribute check when tracing is off);
+* :mod:`repro.obs.metrics` — the :class:`MetricsRegistry` of counters,
+  gauges and histograms (``evaluate.calls``, ``recovery.plan_ms``,
+  ``optimizer.designs_pruned``, ``sim.events_processed``, ...), also
+  no-op by default;
+* :mod:`repro.obs.provenance` — the :class:`EvaluationProvenance`
+  record attached to every :class:`~repro.core.results.Assessment`:
+  which recovery source was chosen, why planning failed, which penalty
+  term and outlay dominated, validation warnings, per-phase timings;
+* :mod:`repro.obs.export` — JSON-lines export/import of span trees and
+  metric snapshots (the CLI's ``--trace-out``).
+
+Enable everything for one block of code::
+
+    from repro import obs
+
+    with obs.use_tracer(obs.Tracer()) as tracer, \\
+         obs.use_metrics(obs.MetricsRegistry()) as registry:
+        assessment = repro.evaluate(design, workload, scenario, reqs)
+    print(assessment.provenance.describe())
+"""
+
+from .spans import Span
+from .tracer import NULL_TRACER, NullTracer, Tracer, get_tracer, set_tracer, use_tracer
+from .metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    get_metrics,
+    set_metrics,
+    use_metrics,
+)
+from .provenance import EvaluationProvenance, explain_assessment
+from .export import (
+    metric_records,
+    read_trace_jsonl,
+    span_records,
+    write_trace_jsonl,
+)
+
+
+def reset() -> None:
+    """Restore the no-op defaults for both the tracer and the metrics."""
+    set_tracer(None)
+    set_metrics(None)
+
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "get_metrics",
+    "set_metrics",
+    "use_metrics",
+    "EvaluationProvenance",
+    "explain_assessment",
+    "span_records",
+    "metric_records",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "reset",
+]

@@ -1,0 +1,91 @@
+"""JSON-lines export/import of traces and metric snapshots.
+
+The wire format is one JSON object per line, each tagged with a
+``kind``:
+
+* ``{"kind": "span", "name": ..., "parent": ..., "depth": ...,
+  "start_ms": ..., "end_ms": ..., "duration_ms": ..., "attributes": {...}}``
+  — spans in depth-first order, so a reader can rebuild the tree from
+  ``depth`` alone;
+* ``{"kind": "counter" | "gauge" | "histogram", "name": ..., ...}`` —
+  one line per instrument of the metrics snapshot.
+
+Readers ignore lines whose ``kind`` they do not know, keeping the
+format forward-compatible.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, List, Optional, Union
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+
+def span_records(tracer: Tracer) -> "List[Dict[str, Any]]":
+    """Flatten a tracer's span trees into depth-first dict records."""
+    records: "List[Dict[str, Any]]" = []
+
+    def visit(span, parent: Optional[str], depth: int) -> None:
+        records.append(span.to_dict(parent=parent, depth=depth))
+        for child in span.children:
+            visit(child, span.name, depth + 1)
+
+    for root in tracer.roots:
+        visit(root, None, 0)
+    return records
+
+
+def metric_records(registry: MetricsRegistry) -> "List[Dict[str, Any]]":
+    """One dict record per instrument in the registry's snapshot."""
+    snapshot = registry.snapshot()
+    records: "List[Dict[str, Any]]" = []
+    for name, value in snapshot["counters"].items():
+        records.append({"kind": "counter", "name": name, "value": value})
+    for name, value in snapshot["gauges"].items():
+        records.append({"kind": "gauge", "name": name, "value": value})
+    for name, stats in snapshot["histograms"].items():
+        records.append({"kind": "histogram", "name": name, **stats})
+    return records
+
+
+def write_trace_jsonl(
+    destination: "Union[str, IO[str]]",
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> int:
+    """Write span and/or metric records as JSON lines.
+
+    ``destination`` is a path or an open text file.  Returns the number
+    of records written.
+    """
+    records: "List[Dict[str, Any]]" = []
+    if tracer is not None:
+        for record in span_records(tracer):
+            records.append({"kind": "span", **record})
+    if metrics is not None:
+        records.extend(metric_records(metrics))
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+    else:
+        for record in records:
+            destination.write(json.dumps(record) + "\n")
+    return len(records)
+
+
+def read_trace_jsonl(source: "Union[str, IO[str]]") -> "List[Dict[str, Any]]":
+    """Read back the records of a JSONL trace file (blank lines skipped)."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            lines = handle.readlines()
+    else:
+        lines = source.readlines()
+    records = []
+    for line in lines:
+        line = line.strip()
+        if line:
+            records.append(json.loads(line))
+    return records

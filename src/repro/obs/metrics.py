@@ -1,0 +1,200 @@
+"""A process-local metrics registry: counters, gauges and histograms.
+
+Instruments are created on first use and keyed by dotted names
+(``evaluate.calls``, ``recovery.plan_ms``, ``sim.events_processed``).
+The process default, :data:`NULL_METRICS`, discards every emission, so
+instrumented code costs a no-op method call when metrics are off;
+callers opt in with :func:`set_metrics` / :func:`use_metrics`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, Optional
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value; each set replaces the last."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+@dataclass
+class Histogram:
+    """Summary statistics of observed values (count/total/min/max)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        """Average of the observations (0.0 before the first)."""
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class MetricsRegistry:
+    """Holds every instrument of one process (or one test)."""
+
+    counters: "Dict[str, Counter]" = field(default_factory=dict)
+    gauges: "Dict[str, Gauge]" = field(default_factory=dict)
+    histograms: "Dict[str, Histogram]" = field(default_factory=dict)
+
+    enabled = True
+
+    # -- instrument access (create on first use) ------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The named counter, created at zero if new."""
+        try:
+            return self.counters[name]
+        except KeyError:
+            instrument = self.counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge, created at zero if new."""
+        try:
+            return self.gauges[name]
+        except KeyError:
+            instrument = self.gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The named histogram, created empty if new."""
+        try:
+            return self.histograms[name]
+        except KeyError:
+            instrument = self.histograms[name] = Histogram(name)
+            return instrument
+
+    # -- one-shot emission helpers (what the hot paths call) ------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment the named counter."""
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the named gauge."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation on the named histogram."""
+        self.histogram(name).observe(value)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def snapshot(self) -> "Dict[str, Any]":
+        """A JSON-friendly copy of every instrument's current state."""
+        return {
+            "counters": {name: c.value for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "mean": h.mean,
+                    "min": h.min,
+                    "max": h.max,
+                }
+                for name, h in sorted(self.histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests call this between cases)."""
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The disabled registry: every emission is discarded.
+
+    Instrument accessors still hand out (unregistered) instruments so
+    code holding a reference keeps working; the one-shot helpers are
+    pure no-ops.
+    """
+
+    enabled = False
+
+    def counter(self, name: str) -> Counter:
+        return Counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return Gauge(name)
+
+    def histogram(self, name: str) -> Histogram:
+        return Histogram(name)
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+
+#: The process-wide default: metrics disabled.
+NULL_METRICS = NullMetricsRegistry()
+
+_CURRENT: MetricsRegistry = NULL_METRICS
+
+
+def get_metrics() -> MetricsRegistry:
+    """The current process-global registry (no-op unless installed)."""
+    return _CURRENT
+
+
+def set_metrics(registry: "Optional[MetricsRegistry]") -> MetricsRegistry:
+    """Install ``registry`` globally (``None`` restores the no-op default).
+
+    Returns the installed registry for convenience.
+    """
+    global _CURRENT
+    _CURRENT = NULL_METRICS if registry is None else registry
+    return _CURRENT
+
+
+@contextmanager
+def use_metrics(registry: "Optional[MetricsRegistry]") -> "Iterator[MetricsRegistry]":
+    """Install a registry for the duration of a ``with`` block."""
+    previous = _CURRENT
+    installed = set_metrics(registry)
+    try:
+        yield installed
+    finally:
+        set_metrics(None if previous is NULL_METRICS else previous)

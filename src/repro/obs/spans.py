@@ -1,0 +1,67 @@
+"""The span tree node: one timed operation with attributes and children.
+
+Spans form a tree per traced request (the :class:`~repro.obs.tracer.Tracer`
+holds the roots).  Times are seconds relative to the owning tracer's
+epoch, taken from a monotonic clock, so durations are meaningful even
+when the wall clock steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class Span:
+    """One timed operation in a trace tree.
+
+    Mutable while open; :class:`~repro.obs.tracer.Tracer` sets ``end``
+    when the span's context manager exits.
+    """
+
+    name: str
+    start: float
+    end: Optional[float] = None
+    attributes: "Dict[str, Any]" = field(default_factory=dict)
+    children: "List[Span]" = field(default_factory=list)
+
+    @property
+    def finished(self) -> bool:
+        """Whether the span has been closed."""
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to end (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    @property
+    def duration_ms(self) -> float:
+        """Milliseconds from start to end (0.0 while still open)."""
+        return self.duration * 1e3
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach attributes to the span; returns the span for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def walk(self, depth: int = 0) -> "Iterator[Tuple[Span, int]]":
+        """Depth-first iteration of this span and its descendants."""
+        yield self, depth
+        for child in self.children:
+            yield from child.walk(depth + 1)
+
+    def to_dict(self, parent: Optional[str] = None, depth: int = 0) -> "Dict[str, Any]":
+        """A flat JSON-friendly record (children are *not* embedded)."""
+        return {
+            "name": self.name,
+            "parent": parent,
+            "depth": depth,
+            "start_ms": round(self.start * 1e3, 6),
+            "end_ms": None if self.end is None else round(self.end * 1e3, 6),
+            "duration_ms": round(self.duration_ms, 6),
+            "attributes": dict(self.attributes),
+        }

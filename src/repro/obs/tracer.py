@@ -1,0 +1,182 @@
+"""Structured tracing: nested spans with wall-clock timings.
+
+Two tracers exist:
+
+* :class:`Tracer` records a tree of :class:`~repro.obs.spans.Span`
+  objects per top-level operation (``tracer.roots``);
+* :class:`NullTracer` (the process default, :data:`NULL_TRACER`)
+  records nothing — its :meth:`~NullTracer.span` hands back one shared
+  context manager whose enter/exit are empty, so instrumented code pays
+  essentially a single attribute check when tracing is disabled.
+
+Instrumented code never constructs tracers; it fetches the current one::
+
+    tracer = get_tracer()
+    with tracer.span("recovery.plan", scenario=label) as span:
+        ...
+        span.set(steps=len(steps))
+
+and callers opt in by installing a real tracer with :func:`set_tracer`
+or the :func:`use_tracer` context manager.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from .spans import Span
+
+
+class _NullSpan:
+    """The shared do-nothing span handle of the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def set(self, **attributes: Any) -> "_NullSpan":
+        """Discard attributes; returns self for chaining."""
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every span is the shared no-op handle."""
+
+    enabled = False
+
+    def span(self, name: str, /, **attributes: Any) -> _NullSpan:
+        """A context manager that records nothing."""
+        return _NULL_SPAN
+
+    @property
+    def roots(self) -> "Tuple[Span, ...]":
+        """Always empty."""
+        return ()
+
+    def walk(self) -> "Iterator[Tuple[Span, int]]":
+        """Always empty."""
+        return iter(())
+
+    def clear(self) -> None:
+        """Nothing to clear."""
+
+
+#: The process-wide default: tracing disabled.
+NULL_TRACER = NullTracer()
+
+
+class _ActiveSpan:
+    """Context manager that opens a span on enter and closes it on exit."""
+
+    __slots__ = ("_tracer", "_name", "_attributes", "_span")
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: "dict"):
+        self._tracer = tracer
+        self._name = name
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer._begin(self._name, self._attributes)
+        return self._span
+
+    def __exit__(self, exc_type, exc, _tb) -> bool:
+        assert self._span is not None, "span exited before it was entered"
+        self._tracer._end(self._span, exc)
+        return False
+
+
+class Tracer:
+    """Collects trees of timed spans.
+
+    Parameters
+    ----------
+    clock:
+        A monotonic float-second clock, injectable for deterministic
+        tests.  Defaults to :func:`time.perf_counter`.  All span times
+        are relative to the tracer's construction (its *epoch*).
+    """
+
+    enabled = True
+
+    def __init__(self, clock: "Callable[[], float]" = time.perf_counter):
+        self._clock = clock
+        self._epoch = clock()
+        self.roots: "List[Span]" = []
+        self._stack: "List[Span]" = []
+
+    def now(self) -> float:
+        """Seconds since the tracer's epoch."""
+        return self._clock() - self._epoch
+
+    def span(self, name: str, /, **attributes: Any) -> _ActiveSpan:
+        """A context manager recording one nested, timed span."""
+        return _ActiveSpan(self, name, attributes)
+
+    def _begin(self, name: str, attributes: "dict") -> Span:
+        span = Span(name=name, start=self.now(), attributes=dict(attributes))
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def _end(self, span: Span, exc: Optional[BaseException]) -> None:
+        span.end = self.now()
+        if exc is not None:
+            span.attributes.setdefault("error", repr(exc))
+        # Tolerate mis-nested exits (e.g. a generator closed late) by
+        # unwinding to the span being closed instead of corrupting the
+        # stack for every subsequent span.
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+
+    def walk(self) -> "Iterator[Tuple[Span, int]]":
+        """Depth-first iteration over every recorded span with its depth."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def clear(self) -> None:
+        """Drop all recorded spans (open spans are abandoned)."""
+        self.roots.clear()
+        self._stack.clear()
+
+
+_CURRENT: "NullTracer | Tracer" = NULL_TRACER
+
+
+def get_tracer() -> "NullTracer | Tracer":
+    """The current process-global tracer (no-op unless installed)."""
+    return _CURRENT
+
+
+def set_tracer(tracer: "Optional[Tracer]") -> "NullTracer | Tracer":
+    """Install ``tracer`` globally (``None`` restores the no-op default).
+
+    Returns the installed tracer for convenience.
+    """
+    global _CURRENT
+    _CURRENT = NULL_TRACER if tracer is None else tracer
+    return _CURRENT
+
+
+@contextmanager
+def use_tracer(tracer: "Optional[Tracer]") -> "Iterator[NullTracer | Tracer]":
+    """Install a tracer for the duration of a ``with`` block."""
+    previous = _CURRENT
+    installed = set_tracer(tracer)
+    try:
+        yield installed
+    finally:
+        set_tracer(previous if isinstance(previous, Tracer) else None)

@@ -5,7 +5,10 @@
 * :mod:`repro.reporting.report` — composed reports: the Table 5
   utilization table, the Table 6 dependability table, the Figure 5 cost
   breakdown and the Table 7 what-if comparison, each built from
-  framework results.
+  framework results;
+* :mod:`repro.reporting.obs_report` — observability renderings: span
+  tree timings, the metrics table and per-assessment provenance
+  explanations (the CLI's ``--trace`` / ``--metrics`` output).
 """
 
 from .tables import Table
@@ -16,6 +19,7 @@ from .report import (
     utilization_report,
     whatif_report,
 )
+from .obs_report import metrics_report, provenance_report, span_tree_report
 
 __all__ = [
     "Table",
@@ -25,4 +29,7 @@ __all__ = [
     "dependability_report",
     "cost_breakdown_report",
     "whatif_report",
+    "span_tree_report",
+    "metrics_report",
+    "provenance_report",
 ]

@@ -1,0 +1,71 @@
+"""Human-readable renderings of traces, metrics and provenance.
+
+* :func:`span_tree_report` — the per-phase timing breakdown of a
+  :class:`~repro.obs.tracer.Tracer` as an indented tree;
+* :func:`metrics_report` — every instrument of a
+  :class:`~repro.obs.metrics.MetricsRegistry` as one table;
+* :func:`provenance_report` — the four-metric explanation of each
+  assessment (see :func:`~repro.obs.provenance.explain_assessment`).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..obs.metrics import MetricsRegistry
+from ..obs.provenance import explain_assessment
+from ..obs.tracer import Tracer
+from .tables import Table
+
+
+def span_tree_report(tracer: Tracer, title: str = "Trace (per-phase timings)") -> str:
+    """Render the tracer's span trees with durations and attributes."""
+    entries = list(tracer.walk())
+    if not entries:
+        return f"{title}\n  (no spans recorded)"
+    labels = ["  " * depth + span.name for span, depth in entries]
+    width = max(len(label) for label in labels)
+    lines = [title]
+    for (span, _depth), label in zip(entries, labels):
+        duration = f"{span.duration_ms:10.2f} ms" if span.finished else "   (open)  "
+        attrs = ""
+        if span.attributes:
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in span.attributes.items()
+            )
+            attrs = f"  [{rendered}]"
+        lines.append(f"  {label:<{width}}  {duration}{attrs}")
+    return "\n".join(lines)
+
+
+def metrics_report(registry: MetricsRegistry, title: str = "Metrics") -> str:
+    """Render every counter, gauge and histogram as one table."""
+    table = Table(headers=["metric", "type", "value"], title=title)
+    snapshot = registry.snapshot()
+    for name, value in snapshot["counters"].items():
+        table.add_row(name, "counter", f"{value:g}")
+    for name, value in snapshot["gauges"].items():
+        table.add_row(name, "gauge", f"{value:g}")
+    for name, stats in snapshot["histograms"].items():
+        table.add_row(
+            name,
+            "histogram",
+            f"n={stats['count']} mean={stats['mean']:.3f} "
+            f"min={stats['min']:.3f} max={stats['max']:.3f}",
+        )
+    if not table.rows:
+        table.add_row("(none recorded)", "", "")
+    return table.render()
+
+
+def provenance_report(
+    assessments: "Mapping[str, object]",
+    title: str = "Provenance: why each metric came out this way",
+) -> str:
+    """Explain the four output metrics of every assessment, per scenario."""
+    blocks = [title]
+    for label, assessment in assessments.items():
+        explanation = explain_assessment(assessment)
+        indented = "\n".join(f"  {line}" for line in explanation.splitlines())
+        blocks.append(f"[{label}]\n{indented}")
+    return "\n\n".join(blocks)

@@ -27,6 +27,7 @@ from typing import Any, Callable, Dict, Mapping, Optional
 
 from .casestudy import all_table7_designs
 from .core.hierarchy import StorageDesign
+from .obs.provenance import EvaluationProvenance
 from .devices import catalog as device_catalog
 from .devices.base import Device
 from .devices.costs import CostModel
@@ -497,3 +498,23 @@ def requirements_from_spec(spec: Mapping[str, Any]) -> BusinessRequirements:
         rto=spec.get("rto"),
         rpo=spec.get("rpo"),
     )
+
+
+# ---------------------------------------------------------------------------
+# Provenance records.
+# ---------------------------------------------------------------------------
+
+
+def provenance_to_dict(provenance: EvaluationProvenance) -> "Dict[str, Any]":
+    """An assessment's provenance record as a JSON-friendly dictionary."""
+    return provenance.to_dict()
+
+
+def provenance_from_spec(spec: Mapping[str, Any]) -> EvaluationProvenance:
+    """Rebuild a provenance record from its dictionary form.
+
+    Unlike the strict spec parsers above, unknown keys are *ignored*:
+    provenance is an output record, so one written by a newer version
+    (with extra fields) must still load on this one.
+    """
+    return EvaluationProvenance.from_dict(spec)

@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.recovery import RecoveryPlan, RecoveryStep
 from ..exceptions import SimulationError
+from ..obs import get_metrics, get_tracer
 
 
 @dataclass(frozen=True)
@@ -168,48 +169,56 @@ class RecoverySimulator:
         """
         if not transfers:
             raise SimulationError("no transfers to simulate")
+        tracer = get_tracer()
+        metrics = get_metrics()
+        events = 0
         pending = sorted(transfers, key=lambda t: t.ready_at)
         active: "List[List[object]]" = []  # [remaining_bytes, spec]
         started: "Dict[str, float]" = {}
         finished: "Dict[str, float]" = {}
         now = 0.0
 
-        while pending or active:
-            if not active:
-                now = max(now, pending[0].ready_at)
-            while pending and pending[0].ready_at <= now:
-                spec = pending.pop(0)
-                active.append([spec.size, spec])
-                started[spec.label] = now
-            rates = self._rates(active)
-            if any(rate <= 0 for rate in rates):
-                stuck = [
-                    spec.label
-                    for (_r, spec), rate in zip(active, rates)
-                    if rate <= 0
+        with tracer.span("sim.run", transfers=len(transfers)) as span:
+            while pending or active:
+                events += 1
+                if not active:
+                    now = max(now, pending[0].ready_at)
+                while pending and pending[0].ready_at <= now:
+                    spec = pending.pop(0)
+                    active.append([spec.size, spec])
+                    started[spec.label] = now
+                rates = self._rates(active)
+                if any(rate <= 0 for rate in rates):
+                    stuck = [
+                        spec.label
+                        for (_r, spec), rate in zip(active, rates)
+                        if rate <= 0
+                    ]
+                    raise SimulationError(
+                        f"transfers starved of bandwidth: {stuck}"
+                    )
+                # Next event: a completion or the next pending arrival.
+                completion_dts = [
+                    remaining / rate for (remaining, _s), rate in zip(active, rates)
                 ]
-                raise SimulationError(
-                    f"transfers starved of bandwidth: {stuck}"
+                next_completion = min(completion_dts)
+                next_arrival = (
+                    pending[0].ready_at - now if pending else float("inf")
                 )
-            # Next event: a completion or the next pending arrival.
-            completion_dts = [
-                remaining / rate for (remaining, _s), rate in zip(active, rates)
-            ]
-            next_completion = min(completion_dts)
-            next_arrival = (
-                pending[0].ready_at - now if pending else float("inf")
-            )
-            dt = min(next_completion, next_arrival)
-            for entry, rate in zip(active, rates):
-                entry[0] -= rate * dt
-            now += dt
-            still_active = []
-            for entry in active:
-                if entry[0] <= 1e-6:
-                    finished[entry[1].label] = now
-                else:
-                    still_active.append(entry)
-            active = still_active
+                dt = min(next_completion, next_arrival)
+                for entry, rate in zip(active, rates):
+                    entry[0] -= rate * dt
+                now += dt
+                still_active = []
+                for entry in active:
+                    if entry[0] <= 1e-6:
+                        finished[entry[1].label] = now
+                    else:
+                        still_active.append(entry)
+                active = still_active
+            metrics.inc("sim.runs")
+            metrics.inc("sim.events_processed", events)
+            span.set(events=events, finish_time=now)
 
         results: "Dict[str, List[Tuple[str, float, float]]]" = {}
         for spec in transfers:

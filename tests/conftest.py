@@ -1,0 +1,18 @@
+"""Shared test fixtures.
+
+The observability globals (current tracer / metrics registry) are
+process state; resetting them around every test keeps cases that
+install a tracer or registry from leaking spans or counts into their
+neighbours.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_observability():
+    obs.reset()
+    yield
+    obs.reset()

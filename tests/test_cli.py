@@ -144,3 +144,56 @@ class TestEvaluateCommand:
     def test_missing_file(self, capsys):
         assert main(["evaluate", "/nonexistent/spec.json"]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestObservabilityFlags:
+    def test_case_study_trace_and_metrics(self, capsys):
+        assert main(["case-study", "--trace", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        # The per-phase span tree ...
+        assert "Trace (per-phase timings)" in out
+        assert "evaluate_scenarios" in out
+        assert "recovery.plan" in out
+        # ... the metrics table ...
+        assert "Metrics" in out
+        assert "evaluate.calls" in out
+        assert "recovery.plan_ms" in out
+        # ... and a provenance explanation of all four output metrics.
+        assert "Provenance" in out
+        for fragment in ("utilization =", "recovery time =", "data loss =", "cost ="):
+            assert fragment in out
+
+    def test_evaluate_trace_out_writes_jsonl(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"design": "baseline", "scenarios": ["array"]}))
+        trace_path = tmp_path / "trace.jsonl"
+        assert main(["evaluate", str(spec), "--trace-out", str(trace_path)]) == 0
+        records = [
+            json.loads(line)
+            for line in trace_path.read_text().splitlines()
+            if line
+        ]
+        kinds = {record["kind"] for record in records}
+        assert "span" in kinds and "counter" in kinds
+        assert any(
+            r["kind"] == "span" and r["name"] == "evaluate_scenarios"
+            for r in records
+        )
+
+    def test_optimize_metrics(self, capsys):
+        assert main(["optimize", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "optimizer.candidates" in out
+
+    def test_flags_leave_the_global_obs_state_clean(self, capsys):
+        from repro import obs
+
+        assert main(["case-study", "--trace"]) == 0
+        assert obs.get_tracer().enabled is False
+        assert obs.get_metrics().enabled is False
+
+    def test_without_flags_no_obs_output(self, capsys):
+        assert main(["case-study"]) == 0
+        out = capsys.readouterr().out
+        assert "Trace (per-phase timings)" not in out
+        assert "Provenance" not in out

@@ -6,6 +6,8 @@ from repro.devices import DiskArray, NetworkLink, Shipment, TapeLibrary, Vault
 from repro.exceptions import DesignError
 from repro.scenarios import FailureScope
 from repro.serialization import (
+    provenance_from_spec,
+    provenance_to_dict,
     design_from_spec,
     device_from_spec,
     requirements_from_spec,
@@ -312,3 +314,40 @@ class TestScenarioAndRequirementSpecs:
     def test_requirements_missing_rate_rejected(self):
         with pytest.raises(DesignError):
             requirements_from_spec({"loss_per_hour": 2000})
+
+
+class TestProvenanceSpecs:
+    def provenance(self):
+        from repro import casestudy
+        from repro.core.evaluate import evaluate
+        from repro.workload.presets import cello
+
+        return evaluate(
+            casestudy.baseline_design(),
+            cello(),
+            casestudy.array_failure_scenario(),
+            casestudy.case_study_requirements(),
+        ).provenance
+
+    def test_round_trip(self):
+        provenance = self.provenance()
+        spec = provenance_to_dict(provenance)
+        assert provenance_from_spec(spec) == provenance
+        # The dictionary survives a JSON round-trip too.
+        import json
+
+        assert provenance_from_spec(json.loads(json.dumps(spec))) == provenance
+
+    def test_unknown_keys_ignored_on_load(self):
+        # Forward compatibility: a record written by a newer version with
+        # extra fields must still load, unlike the strict spec parsers.
+        spec = provenance_to_dict(self.provenance())
+        spec["added_in_a_future_version"] = {"nested": [1, 2]}
+        restored = provenance_from_spec(spec)
+        assert restored == self.provenance()
+
+    def test_tuples_restored_from_json_lists(self):
+        spec = provenance_to_dict(self.provenance())
+        restored = provenance_from_spec(spec)
+        assert isinstance(restored.validation_warnings, tuple)
+        assert isinstance(restored.decisions, tuple)
