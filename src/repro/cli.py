@@ -40,6 +40,9 @@ from .casestudy import (
 )
 from .core.evaluate import evaluate_scenarios
 from .exceptions import ReproError
+from .lint.diagnostics import exit_code as lint_exit_code
+from .lint.output import FORMATS as LINT_FORMATS
+from .lint.output import render as render_diagnostics
 from .obs import MetricsRegistry, Tracer, set_metrics, set_tracer, write_trace_jsonl
 from .obs import reset as reset_obs
 from .reporting.obs_report import (
@@ -132,6 +135,15 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         print("WARNING: declared RTO/RPO objectives are violated")
         return 1
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Statically check spec files for dependability anti-patterns."""
+    from .lint.engine import lint_files
+
+    diagnostics = lint_files(args.specs)
+    print(render_diagnostics(diagnostics, args.format))
+    return lint_exit_code(diagnostics, strict=args.strict)
 
 
 def _cmd_list_designs(_args: argparse.Namespace) -> int:
@@ -227,6 +239,25 @@ def build_parser() -> argparse.ArgumentParser:
     ev.add_argument("spec", help="path to the JSON spec")
     _add_obs_flags(ev)
     ev.set_defaults(func=_cmd_evaluate)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check spec files for dependability anti-patterns",
+    )
+    lint.add_argument("specs", nargs="+", help="JSON spec files to lint")
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 1 on warnings as well as errors",
+    )
+    lint.add_argument(
+        "--format",
+        choices=LINT_FORMATS,
+        default="human",
+        help="output format (default: human)",
+    )
+    _add_obs_flags(lint)
+    lint.set_defaults(func=_cmd_lint)
 
     ls = sub.add_parser("list-designs", help="list named designs")
     ls.set_defaults(func=_cmd_list_designs)

@@ -17,6 +17,7 @@ from ..devices.base import Device
 from ..devices.spares import SpareConfig
 from ..exceptions import DesignError
 from ..scenarios.failures import FailureScenario, FailureScope
+from ..units import HOUR
 from ..techniques.base import ProtectionTechnique
 
 
@@ -321,7 +322,7 @@ class StorageDesign:
         if self.recovery_facility is not None:
             lines.append(
                 f"  [shared recovery facility: provision in "
-                f"{self.recovery_facility.provisioning_time / 3600:.1f} h, "
+                f"{self.recovery_facility.provisioning_time / HOUR:.1f} h, "
                 f"{self.recovery_facility.discount:.0%} of dedicated cost]"
             )
         return "\n".join(lines)

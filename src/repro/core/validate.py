@@ -17,31 +17,46 @@ Violations of 1–2 are structural errors; 3 is reported as a warning
 (the framework models its capacity consequence rather than forbidding
 it).  Workload-dependent checks are delegated to each technique's
 ``validate``.
+
+The checks themselves live in :mod:`repro.lint.rules` as rules
+``DEP001``–``DEP003`` (plus ``DEP013`` for the structural ones);
+:func:`validate_design` is a thin adapter that renders their
+diagnostics back to this module's historical string API.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import re
+from typing import List, Optional, Tuple
 
 from ..exceptions import DesignError
-from ..units import format_duration
+from ..lint.diagnostics import Diagnostic, Severity
+from ..lint.registry import RuleContext, run_rules
+from ..lint.rules import cycle_period_of, retention_count_of  # noqa: F401
 from ..workload.spec import Workload
 from .hierarchy import StorageDesign
+
+#: The rules validate_design adapts over, and their historical report
+#: order: structure first, then the §3.2.1 conventions per level.
+_VALIDATE_CODES = ("DEP013", "DEP001", "DEP002", "DEP003")
+
+_LEVEL_POINTER = re.compile(r"^/levels/(\d+)")
 
 
 def _cycle_period(level) -> Optional[float]:
     """A level's cycle period, or None for continuous techniques."""
-    try:
-        return level.technique.cycle().period
-    except Exception:
-        return None
+    return cycle_period_of(level)
 
 
 def _retention_count(level) -> Optional[int]:
-    try:
-        return level.technique.cycle().retention_count
-    except Exception:
-        return None
+    return retention_count_of(level)
+
+
+def _report_key(diagnostic: Diagnostic) -> "Tuple[int, int, str]":
+    """Historical report order: structure first, then by level, by check."""
+    match = _LEVEL_POINTER.match(diagnostic.pointer)
+    level = int(match.group(1)) if match else -1
+    return (0 if diagnostic.code == "DEP013" else 1, level, diagnostic.code)
 
 
 def validate_design(
@@ -55,57 +70,25 @@ def validate_design(
     :class:`~repro.exceptions.DesignError` on hard violations when
     ``strict`` (the default).
     """
-    warnings: "List[str]" = []
-    errors: "List[str]" = []
-    levels = design.levels
-    if not levels:
-        errors.append("design has no levels")
-    elif not levels[0].technique.is_primary:
-        errors.append("level 0 is not a primary copy")
-
-    for current in levels[1:]:
-        previous = design.parent_of(current)
-        if previous.index == 0:
-            continue  # conventions compare secondary levels to their feeders
-        prev_ret = _retention_count(previous)
-        curr_ret = _retention_count(current)
-        if prev_ret is not None and curr_ret is not None and curr_ret < prev_ret:
-            errors.append(
-                f"level {current.index} ({current.technique.name}) retains "
-                f"fewer cycles ({curr_ret}) than level {previous.index} "
-                f"({previous.technique.name}, {prev_ret}): slower levels must "
-                "retain at least as much (paper section 3.2.1)"
-            )
-        prev_period = _cycle_period(previous)
-        curr_period = _cycle_period(current)
-        if prev_period is not None and curr_period is not None:
-            if curr_period < prev_period:
-                errors.append(
-                    f"level {current.index} ({current.technique.name}) "
-                    f"accumulates over {format_duration(curr_period)}, shorter "
-                    f"than level {previous.index}'s cycle period "
-                    f"({format_duration(prev_period)}): accW_i+1 >= cyclePer_i "
-                    "(paper section 3.2.1)"
-                )
-        # Convention 3: holdW of the propagating level vs. its own
-        # source's retention (it must still be on the source when sent).
-        hold = getattr(current.technique, "hold_window", None)
-        if hold is not None and prev_ret is not None and prev_period is not None:
-            source_retention = prev_ret * prev_period
-            if hold > source_retention:
-                warnings.append(
-                    f"level {current.index} ({current.technique.name}) holds "
-                    f"RPs {format_duration(hold)} before shipping, longer than "
-                    f"level {previous.index}'s retention "
-                    f"({format_duration(source_retention)}): extra retention "
-                    "capacity is demanded from the source device"
-                )
+    context = RuleContext(design=design, workload=workload)
+    diagnostics = sorted(
+        run_rules(context, codes=_VALIDATE_CODES), key=_report_key
+    )
+    warnings = [
+        d.message for d in diagnostics if d.severity is not Severity.ERROR
+    ]
+    errors = [
+        d.message for d in diagnostics if d.severity is Severity.ERROR
+    ]
 
     if workload is not None:
-        for level in levels:
+        for level in design.levels:
             try:
                 level.technique.validate(workload)
-            except Exception as exc:  # surface per-technique problems together
+            # Reporting boundary: each technique's validate may raise any
+            # framework or modeling error; all are collected so the caller
+            # sees every level's problem in one report.
+            except Exception as exc:  # lint: allow-broad-except
                 errors.append(f"level {level.index}: {exc}")
 
     if errors and strict:

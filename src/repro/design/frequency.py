@@ -25,6 +25,7 @@ from ..core.hierarchy import StorageDesign
 from ..exceptions import DesignError, OptimizationError, ReproError
 from ..scenarios.failures import FailureScenario
 from ..scenarios.requirements import BusinessRequirements
+from ..units import YEAR
 from ..workload.spec import Workload
 from .whatif import run_whatif
 
@@ -121,7 +122,7 @@ class AvailabilitySummary:
     expected_annual_downtime: float  # seconds per year
     downtime_by_scenario: "Dict[str, float]"
 
-    YEAR_SECONDS = 365 * 86400.0
+    YEAR_SECONDS = YEAR
 
     @property
     def availability(self) -> float:

@@ -69,6 +69,18 @@ class PolicyError(ReproError, ValueError):
     """
 
 
+class NoCycleError(PolicyError, NotImplementedError):
+    """A continuous technique was asked for its (nonexistent) RP cycle.
+
+    Primary copies and synchronous/asynchronous mirrors propagate
+    updates continuously — there is no cycle period or retention count
+    to report.  Deriving from both :class:`PolicyError` (callers treat
+    the request as a policy misuse) and :class:`NotImplementedError`
+    (static checks recognise "no cycle model here" and skip, while any
+    *other* exception out of ``cycle()`` surfaces as the bug it is).
+    """
+
+
 class DesignError(ReproError, ValueError):
     """A storage system design is structurally invalid.
 

@@ -1,0 +1,63 @@
+"""Static analysis for designs and code (no evaluation involved).
+
+Two targets share one :class:`~repro.lint.diagnostics.Diagnostic`
+model:
+
+* **Design lint** — ``DEP###`` rules over a
+  :class:`~repro.core.hierarchy.StorageDesign` + workload + scenarios +
+  requirements (and the raw spec dictionary, for structure rules).  Run
+  them with :func:`~repro.lint.engine.lint_design` /
+  ``lint_spec`` / ``lint_file`` from :mod:`repro.lint.engine`, or via
+  the ``repro lint`` CLI subcommand.
+* **Code lint** — ``UNI###``/``EXC###`` AST rules over Python source
+  (:mod:`repro.lint.codelint`, ``python -m repro.lint.codelint src/``).
+
+This package root intentionally imports only the registry, the rules
+and the renderers — never :mod:`repro.lint.engine` — so that
+``core.validate`` can adapt over the DEP rules without dragging in
+serialization or the case-study catalog (and without import cycles).
+"""
+
+from . import rules  # noqa: F401  (registers the DEP rule table)
+from .diagnostics import (
+    Diagnostic,
+    LintError,
+    Severity,
+    diagnostic_from_dict,
+    exit_code,
+    max_severity,
+)
+from .output import (
+    FORMATS,
+    diagnostics_from_json,
+    diagnostics_from_sarif,
+    render,
+    render_human,
+    render_json,
+    render_sarif,
+    rule_table,
+)
+from .registry import RULES, RuleContext, RuleInfo, make, rule, run_rules
+
+__all__ = [
+    "Diagnostic",
+    "LintError",
+    "Severity",
+    "diagnostic_from_dict",
+    "exit_code",
+    "max_severity",
+    "FORMATS",
+    "diagnostics_from_json",
+    "diagnostics_from_sarif",
+    "render",
+    "render_human",
+    "render_json",
+    "render_sarif",
+    "rule_table",
+    "RULES",
+    "RuleContext",
+    "RuleInfo",
+    "make",
+    "rule",
+    "run_rules",
+]

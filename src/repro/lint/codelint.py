@@ -1,0 +1,355 @@
+"""Units-discipline and exception-hygiene AST checker for the codebase.
+
+Run as::
+
+    python -m repro.lint.codelint src/
+
+Three rules, sharing the :class:`~repro.lint.diagnostics.Diagnostic`
+model with the design linter:
+
+``UNI001`` (error)
+    A raw *time* magnitude literal (3600, 86400, 604800, 31536000)
+    outside :mod:`repro.units`.  The codebase's whole defence against
+    the paper's $/hour-vs-$/s and GB-vs-GiB class of slip is that
+    magnitudes are spelled once, in ``units.py``; ``4 * 3600`` in a
+    workload preset reintroduces the ambiguity the constants removed.
+
+``UNI002`` (error)
+    A raw *byte* magnitude literal (1024, 2**20 ... 2**50 binary,
+    10**3 ... 10**12 decimal ``BinOp`` powers) outside ``units.py``.
+
+``EXC001`` (error)
+    A broad exception handler — bare ``except:``, ``except Exception``
+    or ``except BaseException`` — outside a designated boundary.  Broad
+    handlers swallow genuine bugs (a broken ``cycle()`` used to skip
+    validation checks silently, see ``core/validate.py`` history).
+
+Both UNI rules honour the pragma ``# lint: allow-raw-unit`` on the
+flagged line; EXC001 honours ``# lint: allow-broad-except`` on the
+``except`` line (use it only on deliberate boundaries, with a comment
+stating the contract).  ``--max-pragmas`` budgets the total number of
+allow-raw-unit pragmas so the escape hatch cannot quietly become the
+norm (CI pins it at 5).
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..obs import get_metrics
+from .diagnostics import Diagnostic, Severity, exit_code
+from .output import FORMATS, render
+from .registry import RuleInfo
+
+#: The code-lint rule table (not in the design registry: these rules
+#: run over Python source, not RuleContexts).  ``output.all_rule_infos``
+#: merges this into the SARIF metadata and the documented rule table.
+CODE_RULES: "Dict[str, RuleInfo]" = {
+    info.code: info
+    for info in (
+        RuleInfo(
+            "UNI001",
+            Severity.ERROR,
+            "units",
+            "Raw time-magnitude literal outside repro.units.",
+        ),
+        RuleInfo(
+            "UNI002",
+            Severity.ERROR,
+            "units",
+            "Raw byte-magnitude literal or power outside repro.units.",
+        ),
+        RuleInfo(
+            "UNI003",
+            Severity.ERROR,
+            "units",
+            "allow-raw-unit pragma budget exceeded.",
+        ),
+        RuleInfo(
+            "EXC001",
+            Severity.ERROR,
+            "exceptions",
+            "Broad exception handler outside a designated boundary.",
+        ),
+    )
+}
+
+RAW_UNIT_PRAGMA = "lint: allow-raw-unit"
+BROAD_EXCEPT_PRAGMA = "lint: allow-broad-except"
+
+#: Files the UNI rules never apply to: the module that *defines* the
+#: magnitudes, and this checker (which must name them to detect them).
+DEFAULT_ALLOWLIST = ("repro/units.py", "repro/lint/codelint.py")
+
+#: Time magnitudes in seconds -> the repro.units constant to use.
+TIME_LITERALS: "Dict[float, str]" = {
+    3600.0: "HOUR",
+    86400.0: "DAY",
+    604800.0: "WEEK",
+    31536000.0: "YEAR",
+}
+
+#: Byte magnitudes -> the repro.units constant to use.
+BYTE_LITERALS: "Dict[float, str]" = {
+    float(2 ** 10): "KB",
+    float(2 ** 20): "MB",
+    float(2 ** 30): "GB",
+    float(2 ** 40): "TB",
+    float(2 ** 50): "PB",
+}
+
+#: ``base ** exponent`` byte powers -> the constant to use.
+POWER_LITERALS: "Dict[tuple, str]" = {
+    (2.0, 10.0): "KB",
+    (2.0, 20.0): "MB",
+    (2.0, 30.0): "GB",
+    (2.0, 40.0): "TB",
+    (2.0, 50.0): "PB",
+    (10.0, 3.0): "KB_DEC",
+    (10.0, 6.0): "MB_DEC",
+    (10.0, 9.0): "GB_DEC",
+    (10.0, 12.0): "TB_DEC",
+}
+
+_BROAD_NAMES = ("Exception", "BaseException")
+
+
+def _numeric(node: ast.AST) -> Optional[float]:
+    """The float value of a non-bool numeric Constant, else None."""
+    if not isinstance(node, ast.Constant):
+        return None
+    value = node.value
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _is_allowlisted(filename: str, allowlist: "Sequence[str]") -> bool:
+    normalized = filename.replace(os.sep, "/")
+    return any(normalized.endswith(suffix) for suffix in allowlist)
+
+
+def _has_pragma(lines: "Sequence[str]", lineno: int, pragma: str) -> bool:
+    if 1 <= lineno <= len(lines):
+        return pragma in lines[lineno - 1]
+    return False
+
+
+def _broad_handler_name(handler: ast.ExceptHandler) -> Optional[str]:
+    """The broad class a handler catches, or None for a narrow one."""
+    if handler.type is None:
+        return "everything (bare except)"
+    nodes: "List[ast.expr]" = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for node in nodes:
+        if isinstance(node, ast.Name) and node.id in _BROAD_NAMES:
+            return node.id
+    return None
+
+
+class _Checker(ast.NodeVisitor):
+    """One file's worth of UNI/EXC findings."""
+
+    def __init__(self, filename: str, lines: "Sequence[str]") -> None:
+        self.filename = filename
+        self.lines = lines
+        self.findings: "List[Diagnostic]" = []
+
+    def _emit(
+        self, code: str, message: str, hint: str, node: ast.AST
+    ) -> None:
+        info = CODE_RULES[code]
+        self.findings.append(
+            Diagnostic(
+                code=code,
+                severity=info.severity,
+                message=message,
+                hint=hint,
+                category=info.category,
+                source="code",
+                file=self.filename,
+                line=getattr(node, "lineno", None),
+                column=getattr(node, "col_offset", None),
+            )
+        )
+
+    # -- UNI001/UNI002: raw magnitudes ---------------------------------------
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        value = _numeric(node)
+        if value is None:
+            return
+        if _has_pragma(self.lines, node.lineno, RAW_UNIT_PRAGMA):
+            return
+        if value in TIME_LITERALS:
+            constant = TIME_LITERALS[value]
+            self._emit(
+                "UNI001",
+                f"raw time magnitude {node.value!r} (that's "
+                f"repro.units.{constant})",
+                f"use units.{constant}, or pragma the line with "
+                f"`# {RAW_UNIT_PRAGMA}`",
+                node,
+            )
+        elif value in BYTE_LITERALS:
+            constant = BYTE_LITERALS[value]
+            self._emit(
+                "UNI002",
+                f"raw byte magnitude {node.value!r} (that's "
+                f"repro.units.{constant})",
+                f"use units.{constant}, or pragma the line with "
+                f"`# {RAW_UNIT_PRAGMA}`",
+                node,
+            )
+
+    def visit_BinOp(self, node: ast.BinOp) -> None:
+        if isinstance(node.op, ast.Pow):
+            base = _numeric(node.left)
+            exponent = _numeric(node.right)
+            if (
+                base is not None
+                and exponent is not None
+                and (base, exponent) in POWER_LITERALS
+                and not _has_pragma(self.lines, node.lineno, RAW_UNIT_PRAGMA)
+            ):
+                constant = POWER_LITERALS[(base, exponent)]
+                self._emit(
+                    "UNI002",
+                    f"raw byte power {int(base)}**{int(exponent)} "
+                    f"(that's repro.units.{constant})",
+                    f"use units.{constant}, or pragma the line with "
+                    f"`# {RAW_UNIT_PRAGMA}`",
+                    node,
+                )
+                return  # the operands are part of the flagged power
+        self.generic_visit(node)
+
+    # -- EXC001: broad handlers ----------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        broad = _broad_handler_name(node)
+        if broad is not None and not _has_pragma(
+            self.lines, node.lineno, BROAD_EXCEPT_PRAGMA
+        ):
+            self._emit(
+                "EXC001",
+                f"broad exception handler catches {broad}: genuine bugs "
+                "are swallowed with the expected failures",
+                "narrow to the exceptions the contract names, or mark a "
+                f"deliberate boundary with `# {BROAD_EXCEPT_PRAGMA}` "
+                "plus a comment stating the contract",
+                node,
+            )
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str,
+    filename: str = "<string>",
+    allowlist: "Sequence[str]" = DEFAULT_ALLOWLIST,
+) -> "List[Diagnostic]":
+    """Lint one Python source text."""
+    if _is_allowlisted(filename, allowlist):
+        return []
+    tree = ast.parse(source, filename=filename)
+    checker = _Checker(filename, source.splitlines())
+    checker.visit(tree)
+    metrics = get_metrics()
+    for finding in checker.findings:
+        metrics.inc(f"lint.diagnostics.{finding.severity.value}")
+    return checker.findings
+
+
+def _python_files(path: str) -> "Iterator[str]":
+    if os.path.isfile(path):
+        yield path
+        return
+    for root, dirs, files in os.walk(path):
+        dirs[:] = sorted(d for d in dirs if d != "__pycache__")
+        for name in sorted(files):
+            if name.endswith(".py"):
+                yield os.path.join(root, name)
+
+
+def count_pragmas(
+    paths: "Sequence[str]", pragma: str = RAW_UNIT_PRAGMA
+) -> int:
+    """Occurrences of a pragma across the given files/trees."""
+    count = 0
+    for path in paths:
+        for filename in _python_files(path):
+            with open(filename, encoding="utf-8") as handle:
+                count += sum(1 for line in handle if pragma in line)
+    return count
+
+
+def lint_paths(
+    paths: "Sequence[str]",
+    allowlist: "Sequence[str]" = DEFAULT_ALLOWLIST,
+    max_pragmas: Optional[int] = None,
+) -> "List[Diagnostic]":
+    """Lint files and/or directory trees of Python source."""
+    metrics = get_metrics()
+    findings: "List[Diagnostic]" = []
+    for path in paths:
+        for filename in _python_files(path):
+            metrics.inc("lint.codelint.files")
+            with open(filename, encoding="utf-8") as handle:
+                source = handle.read()
+            findings.extend(lint_source(source, filename, allowlist))
+    if max_pragmas is not None:
+        pragmas = count_pragmas(paths)
+        if pragmas > max_pragmas:
+            info = CODE_RULES["UNI003"]
+            findings.append(
+                Diagnostic(
+                    code="UNI003",
+                    severity=info.severity,
+                    message=(
+                        f"{pragmas} `# {RAW_UNIT_PRAGMA}` pragmas in the "
+                        f"tree, over the budget of {max_pragmas}: the "
+                        "escape hatch is becoming the norm"
+                    ),
+                    hint="convert pragma'd literals to repro.units "
+                    "constants (or raise the budget deliberately)",
+                    category=info.category,
+                    source="code",
+                )
+            )
+    return findings
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    """Entry point for ``python -m repro.lint.codelint``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint.codelint",
+        description="units-discipline and exception-hygiene checker",
+    )
+    parser.add_argument(
+        "paths", nargs="+", help="Python files or directories to check"
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="human", help="output format"
+    )
+    parser.add_argument(
+        "--max-pragmas",
+        type=int,
+        default=None,
+        metavar="N",
+        help=f"fail when more than N `# {RAW_UNIT_PRAGMA}` pragmas exist",
+    )
+    args = parser.parse_args(argv)
+    findings = lint_paths(args.paths, max_pragmas=args.max_pragmas)
+    print(render(findings, args.format))
+    return exit_code(findings)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

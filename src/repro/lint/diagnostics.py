@@ -1,0 +1,196 @@
+"""The diagnostic model shared by the design linter and the code linter.
+
+Both halves of :mod:`repro.lint` — the rule-based design checker and the
+AST-based code checker — emit the same :class:`Diagnostic` record, so
+the output renderers (:mod:`repro.lint.output`), the CLI exit-code
+policy and the CI gates treat them uniformly.
+
+A diagnostic carries a stable code (``DEP###`` for design rules,
+``UNI###``/``EXC###`` for code rules), a :class:`Severity`, the
+human-readable message, a fix-it ``hint``, and *where* it points:
+a JSON pointer into the spec for design diagnostics, or a
+file/line/column triple for code diagnostics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping, Optional
+
+from ..exceptions import ReproError
+
+
+class LintError(ReproError):
+    """The linter itself was misused (unknown rule code, bad format)."""
+
+
+class Severity(enum.Enum):
+    """Diagnostic severity, ordered ``error > warning > info``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Numeric rank for comparisons (higher is more severe)."""
+        return {"error": 2, "warning": 1, "info": 0}[self.value]
+
+    @property
+    def sarif_level(self) -> str:
+        """The SARIF 2.1.0 ``level`` value for this severity."""
+        return {"error": "error", "warning": "warning", "info": "note"}[self.value]
+
+    @classmethod
+    def from_sarif_level(cls, level: str) -> "Severity":
+        """The severity a SARIF ``level`` maps back to."""
+        mapping = {"error": cls.ERROR, "warning": cls.WARNING, "note": cls.INFO}
+        try:
+            return mapping[level]
+        except KeyError:
+            raise LintError(f"unknown SARIF level {level!r}") from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding of either linter.
+
+    Parameters
+    ----------
+    code:
+        Stable rule identifier (``"DEP004"``, ``"UNI001"``).
+    severity:
+        :class:`Severity` of the finding.
+    message:
+        What is wrong, in one sentence.
+    hint:
+        How to fix it (empty when no mechanical fix exists).
+    category:
+        Rule family (``"placement"``, ``"retention"``, ``"units"``...).
+    source:
+        ``"design"`` for spec/design rules, ``"code"`` for AST rules.
+    pointer:
+        JSON pointer into the spec (``"/design/levels/2"``); design
+        diagnostics only.
+    file / line / column:
+        Source location; code diagnostics (and the spec file a design
+        diagnostic came from, when linting files).
+    """
+
+    code: str
+    severity: Severity
+    message: str
+    hint: str = ""
+    category: str = ""
+    source: str = "design"
+    pointer: str = ""
+    file: Optional[str] = None
+    line: Optional[int] = None
+    column: Optional[int] = None
+
+    def with_file(self, file: str) -> "Diagnostic":
+        """A copy attributed to the given file (spec-file lint runs)."""
+        return Diagnostic(
+            code=self.code,
+            severity=self.severity,
+            message=self.message,
+            hint=self.hint,
+            category=self.category,
+            source=self.source,
+            pointer=self.pointer,
+            file=file,
+            line=self.line,
+            column=self.column,
+        )
+
+    def location(self) -> str:
+        """The most specific place this diagnostic points at."""
+        parts = []
+        if self.file:
+            place = self.file
+            if self.line is not None:
+                place += f":{self.line}"
+                if self.column is not None:
+                    place += f":{self.column}"
+            parts.append(place)
+        if self.pointer:
+            parts.append(self.pointer)
+        return " ".join(parts)
+
+    def render(self) -> str:
+        """One-line human rendering: ``place: CODE severity: message``."""
+        place = self.location()
+        prefix = f"{place}: " if place else ""
+        line = f"{prefix}{self.code} {self.severity.value}: {self.message}"
+        if self.hint:
+            line += f"\n    fix: {self.hint}"
+        return line
+
+    def to_dict(self) -> "Dict[str, Any]":
+        """JSON-friendly dictionary (the inverse of :func:`from_dict`)."""
+        record: "Dict[str, Any]" = {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "source": self.source,
+        }
+        if self.hint:
+            record["hint"] = self.hint
+        if self.category:
+            record["category"] = self.category
+        if self.pointer:
+            record["pointer"] = self.pointer
+        if self.file is not None:
+            record["file"] = self.file
+        if self.line is not None:
+            record["line"] = self.line
+        if self.column is not None:
+            record["column"] = self.column
+        return record
+
+
+def diagnostic_from_dict(record: Mapping[str, Any]) -> Diagnostic:
+    """Rebuild a :class:`Diagnostic` from its dictionary form.
+
+    Unknown keys are ignored: diagnostics are an output record, so one
+    written by a newer version must still load on this one.
+    """
+    try:
+        return Diagnostic(
+            code=str(record["code"]),
+            severity=Severity(record["severity"]),
+            message=str(record["message"]),
+            hint=str(record.get("hint", "")),
+            category=str(record.get("category", "")),
+            source=str(record.get("source", "design")),
+            pointer=str(record.get("pointer", "")),
+            file=record.get("file"),
+            line=record.get("line"),
+            column=record.get("column"),
+        )
+    except KeyError as exc:
+        raise LintError(f"diagnostic record missing key {exc}") from None
+
+
+def max_severity(diagnostics: Iterable[Diagnostic]) -> Optional[Severity]:
+    """The most severe severity present, or None for a clean run."""
+    worst: Optional[Severity] = None
+    for diagnostic in diagnostics:
+        if worst is None or diagnostic.severity.rank > worst.rank:
+            worst = diagnostic.severity
+    return worst
+
+
+def exit_code(diagnostics: Iterable[Diagnostic], strict: bool = False) -> int:
+    """The CLI exit-code policy.
+
+    Errors always fail (1); warnings fail only under ``--strict``;
+    info-level findings never fail.
+    """
+    worst = max_severity(diagnostics)
+    if worst is Severity.ERROR:
+        return 1
+    if worst is Severity.WARNING and strict:
+        return 1
+    return 0

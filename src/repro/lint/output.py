@@ -1,0 +1,240 @@
+"""Diagnostic renderers: human text, JSON, and SARIF 2.1.0.
+
+All three formats render the same list of
+:class:`~repro.lint.diagnostics.Diagnostic` objects; JSON and SARIF are
+loss-free (``diagnostics_from_json`` / ``diagnostics_from_sarif``
+round-trip them), so CI systems can consume either.
+
+SARIF output follows the 2.1.0 schema: each diagnostic becomes a
+``result`` with the severity mapped to a SARIF ``level``
+(``info`` -> ``note``), the fix-it hint and JSON pointer carried in
+``properties``, and the rule table exported as ``tool.driver.rules``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence
+
+from .diagnostics import (
+    Diagnostic,
+    LintError,
+    Severity,
+    diagnostic_from_dict,
+    max_severity,
+)
+from .registry import RULES, RuleInfo
+
+#: The formats ``render`` accepts (the CLI's ``--format`` choices).
+FORMATS = ("human", "json", "sarif")
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_TOOL_NAME = "repro-lint"
+
+
+def all_rule_infos() -> "List[RuleInfo]":
+    """Every known rule: design rules plus the code-lint rule table."""
+    infos = list(RULES.values())
+    from . import codelint  # runtime import: codelint renders via this module
+
+    infos.extend(codelint.CODE_RULES.values())
+    return infos
+
+
+def summarize(diagnostics: "Sequence[Diagnostic]") -> "Dict[str, int]":
+    """Counts by severity (always includes all three keys)."""
+    counts = {severity.value: 0 for severity in Severity}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity.value] += 1
+    return counts
+
+
+# ---------------------------------------------------------------------------
+# Human.
+# ---------------------------------------------------------------------------
+
+
+def render_human(diagnostics: "Sequence[Diagnostic]") -> str:
+    """One line per diagnostic plus a closing summary line."""
+    lines = [diagnostic.render() for diagnostic in diagnostics]
+    counts = summarize(diagnostics)
+    total = len(diagnostics)
+    if total == 0:
+        lines.append("clean: no diagnostics")
+    else:
+        lines.append(
+            f"{total} diagnostic(s): {counts['error']} error(s), "
+            f"{counts['warning']} warning(s), {counts['info']} info"
+        )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# JSON.
+# ---------------------------------------------------------------------------
+
+
+def render_json(diagnostics: "Sequence[Diagnostic]") -> str:
+    """A JSON document: the diagnostics plus a severity summary."""
+    worst = max_severity(diagnostics)
+    document = {
+        "tool": _TOOL_NAME,
+        "diagnostics": [d.to_dict() for d in diagnostics],
+        "summary": summarize(diagnostics),
+        "max_severity": worst.value if worst is not None else None,
+    }
+    return json.dumps(document, indent=2, sort_keys=False)
+
+
+def diagnostics_from_json(text: str) -> "List[Diagnostic]":
+    """Reload diagnostics from :func:`render_json` output."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise LintError(f"not a JSON diagnostics document: {exc}") from None
+    records = document.get("diagnostics") if isinstance(document, dict) else None
+    if not isinstance(records, list):
+        raise LintError("JSON document has no 'diagnostics' list")
+    return [diagnostic_from_dict(record) for record in records]
+
+
+# ---------------------------------------------------------------------------
+# SARIF 2.1.0.
+# ---------------------------------------------------------------------------
+
+
+def _sarif_rule(info: RuleInfo) -> "Dict[str, Any]":
+    return {
+        "id": info.code,
+        "shortDescription": {"text": info.summary or info.code},
+        "defaultConfiguration": {"level": info.severity.sarif_level},
+        "properties": {"category": info.category},
+    }
+
+
+def _sarif_result(diagnostic: Diagnostic) -> "Dict[str, Any]":
+    result: "Dict[str, Any]" = {
+        "ruleId": diagnostic.code,
+        "level": diagnostic.severity.sarif_level,
+        "message": {"text": diagnostic.message},
+        "properties": {"source": diagnostic.source},
+    }
+    if diagnostic.hint:
+        result["properties"]["hint"] = diagnostic.hint
+    if diagnostic.category:
+        result["properties"]["category"] = diagnostic.category
+    if diagnostic.pointer:
+        result["properties"]["pointer"] = diagnostic.pointer
+    if diagnostic.file is not None:
+        physical: "Dict[str, Any]" = {
+            "artifactLocation": {"uri": diagnostic.file}
+        }
+        region: "Dict[str, Any]" = {}
+        if diagnostic.line is not None:
+            region["startLine"] = diagnostic.line
+        if diagnostic.column is not None:
+            region["startColumn"] = diagnostic.column
+        if region:
+            physical["region"] = region
+        result["locations"] = [{"physicalLocation": physical}]
+    return result
+
+
+def render_sarif(diagnostics: "Sequence[Diagnostic]") -> str:
+    """A SARIF 2.1.0 log with the full rule table as tool metadata."""
+    used = {d.code for d in diagnostics}
+    rules = [
+        _sarif_rule(info)
+        for info in all_rule_infos()
+        if info.code in used or not diagnostics
+    ]
+    log = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {"driver": {"name": _TOOL_NAME, "rules": rules}},
+                "results": [_sarif_result(d) for d in diagnostics],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2, sort_keys=False)
+
+
+def diagnostics_from_sarif(text: str) -> "List[Diagnostic]":
+    """Reload diagnostics from :func:`render_sarif` output."""
+    try:
+        log = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise LintError(f"not a SARIF document: {exc}") from None
+    try:
+        runs = log["runs"]
+    except (TypeError, KeyError):
+        raise LintError("SARIF document has no 'runs'") from None
+    categories = {info.code: info.category for info in all_rule_infos()}
+    diagnostics: "List[Diagnostic]" = []
+    for run in runs:
+        for result in run.get("results", ()):
+            properties = result.get("properties", {})
+            file = line = column = None
+            for location in result.get("locations", ()):
+                physical = location.get("physicalLocation", {})
+                file = physical.get("artifactLocation", {}).get("uri")
+                region = physical.get("region", {})
+                line = region.get("startLine")
+                column = region.get("startColumn")
+                break
+            code = str(result.get("ruleId", ""))
+            diagnostics.append(
+                Diagnostic(
+                    code=code,
+                    severity=Severity.from_sarif_level(
+                        result.get("level", "warning")
+                    ),
+                    message=result.get("message", {}).get("text", ""),
+                    hint=properties.get("hint", ""),
+                    category=properties.get(
+                        "category", categories.get(code, "")
+                    ),
+                    source=properties.get("source", "design"),
+                    pointer=properties.get("pointer", ""),
+                    file=file,
+                    line=line,
+                    column=column,
+                )
+            )
+    return diagnostics
+
+
+# ---------------------------------------------------------------------------
+# Dispatch.
+# ---------------------------------------------------------------------------
+
+
+def render(diagnostics: "Sequence[Diagnostic]", format: str = "human") -> str:
+    """Render in the named format (one of :data:`FORMATS`)."""
+    if format == "human":
+        return render_human(diagnostics)
+    if format == "json":
+        return render_json(diagnostics)
+    if format == "sarif":
+        return render_sarif(diagnostics)
+    raise LintError(
+        f"unknown format {format!r}; expected one of {', '.join(FORMATS)}"
+    )
+
+
+def rule_table() -> "List[Dict[str, str]]":
+    """The rule table (code, severity, category, summary) for docs/CLI."""
+    return [
+        {
+            "code": info.code,
+            "severity": info.severity.value,
+            "category": info.category,
+            "summary": info.summary,
+        }
+        for info in sorted(all_rule_infos(), key=lambda info: info.code)
+    ]

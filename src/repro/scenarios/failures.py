@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Optional, Union
 
 from ..exceptions import DesignError
-from ..units import parse_duration, parse_size
+from ..units import HOUR, parse_duration, parse_size
 from .locations import Location
 
 
@@ -161,5 +161,7 @@ class FailureScenario:
         if self.failed_location:
             parts.append(f"at {self.failed_location.label()}")
         if self.recovery_target_age:
-            parts.append(f"target {self.recovery_target_age / 3600:.0f}h before failure")
+            parts.append(
+                f"target {self.recovery_target_age / HOUR:.0f}h before failure"
+            )
         return " ".join(parts)

@@ -76,8 +76,8 @@ class DependabilitySimulator:
         for level in self.design.secondary_levels():
             try:
                 cycle = level.technique.cycle()
-            except Exception:
-                continue
+            except (AttributeError, NotImplementedError):
+                continue  # continuous techniques have no retention window
             warmup = max(warmup, cycle.retention_count * cycle.period)
         return warmup
 
@@ -103,7 +103,7 @@ class DependabilitySimulator:
         """Emit rp-created events for every cycle event over the horizon."""
         try:
             cycle = level.technique.cycle()
-        except Exception:
+        except (AttributeError, NotImplementedError):
             # Continuous techniques (sync/async mirrors) track "now" with
             # a fixed lag; modeled as dense RPs at a fine grain below.
             self._schedule_continuous(level)

@@ -31,7 +31,7 @@ from typing import List, Optional, Union
 
 from ..devices.base import Device
 from ..exceptions import PolicyError
-from ..units import parse_duration
+from ..units import DAY, parse_duration
 from ..workload.spec import Workload
 from .base import CopyRepresentation, ProtectionTechnique, check_windows
 from .timeline import CycleModel, RPEvent
@@ -320,7 +320,7 @@ class Backup(ProtectionTechnique):
         return min(requested_bytes + overhead, workload.data_capacity + overhead)
 
     def describe(self) -> str:
-        days = self.cycle_period / 86400.0
+        days = self.cycle_period / DAY
         if self.incremental is None:
             return f"{self.name}: fulls every {days:g} d, {self.retention_count} cycles"
         return (

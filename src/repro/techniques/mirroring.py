@@ -33,7 +33,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from ..devices.base import Device
-from ..exceptions import PolicyError
+from ..exceptions import NoCycleError, PolicyError
 from ..units import parse_duration
 from ..workload.spec import Workload
 from .base import CopyRepresentation, ProtectionTechnique, check_windows
@@ -100,7 +100,7 @@ class SyncMirror(_InterArrayMirror):
         super().__init__(name)
 
     def cycle(self) -> CycleModel:
-        raise PolicyError(
+        raise NoCycleError(
             "synchronous mirrors propagate continuously and have no RP cycle"
         )
 
@@ -151,7 +151,7 @@ class AsyncMirror(_InterArrayMirror):
         self.write_behind_lag = lag
 
     def cycle(self) -> CycleModel:
-        raise PolicyError(
+        raise NoCycleError(
             "asynchronous mirrors propagate continuously and have no RP cycle"
         )
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..devices.base import Device
-from ..exceptions import PolicyError
+from ..exceptions import NoCycleError
 from ..workload.spec import Workload
 from .base import ProtectionTechnique
 from .timeline import CycleModel
@@ -27,7 +27,7 @@ class PrimaryCopy(ProtectionTechnique):
         super().__init__(name)
 
     def cycle(self) -> CycleModel:
-        raise PolicyError(
+        raise NoCycleError(
             "the primary copy has no RP cycle; it always reflects 'now'"
         )
 

@@ -17,6 +17,7 @@ from typing import Optional, Union
 
 from ..devices.base import Device
 from ..exceptions import PolicyError
+from ..units import HOUR
 from ..workload.spec import Workload
 from .base import CopyRepresentation, ProtectionTechnique, check_windows
 from .timeline import CycleModel
@@ -92,7 +93,7 @@ class VirtualSnapshot(ProtectionTechnique):
         )
 
     def describe(self) -> str:
-        hours = self.accumulation_window / 3600.0
+        hours = self.accumulation_window / HOUR
         return (
             f"{self.name}: CoW snapshot every {hours:g} h, "
             f"{self.retention_count} retained"

@@ -23,6 +23,7 @@ from typing import Optional, Union
 
 from ..devices.base import Device
 from ..exceptions import PolicyError
+from ..units import HOUR
 from ..workload.spec import Workload
 from .base import CopyRepresentation, ProtectionTechnique, check_windows
 from .timeline import CycleModel
@@ -107,7 +108,7 @@ class SplitMirror(ProtectionTechnique):
         )
 
     def describe(self) -> str:
-        hours = self.accumulation_window / 3600.0
+        hours = self.accumulation_window / HOUR
         return (
             f"{self.name}: split every {hours:g} h, {self.retention_count} "
             f"accessible (+1 resilvering)"

@@ -25,7 +25,7 @@ from typing import Optional, Union
 
 from ..devices.base import Device
 from ..exceptions import PolicyError
-from ..units import YEAR
+from ..units import WEEK, YEAR
 from ..workload.spec import Workload
 from .base import CopyRepresentation, ProtectionTechnique, check_windows
 from .timeline import CycleModel
@@ -129,7 +129,7 @@ class RemoteVaulting(ProtectionTechnique):
             )
 
     def describe(self) -> str:
-        weeks = self.accumulation_window / (7 * 86400.0)
+        weeks = self.accumulation_window / WEEK
         years = self.retention_window() / YEAR
         return (
             f"{self.name}: ship every {weeks:g} wk, retain {years:.1f} yr "

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import WorkloadError
-from ..units import GB, KB, MINUTE
+from ..units import DAY, GB, HOUR, KB, MINUTE
 from .traces import Trace
 
 
@@ -55,7 +55,7 @@ class SyntheticWorkloadConfig:
     """
 
     data_capacity: float = 64 * GB
-    duration: float = 4 * 3600.0
+    duration: float = 4 * HOUR
     avg_access_rate: float = 1028 * KB
     avg_update_rate: float = 799 * KB
     burst_multiplier: float = 10.0
@@ -70,7 +70,7 @@ class SyntheticWorkloadConfig:
     #: windows) are built around this shape.
     diurnal_amplitude: float = 0.0
     #: Length of the diurnal cycle; a day, unless compressed for tests.
-    diurnal_period: float = 24 * 3600.0
+    diurnal_period: float = DAY
 
     def validate(self) -> None:
         """Raise :class:`WorkloadError` if the configuration is inconsistent."""
@@ -118,7 +118,7 @@ def _on_off_timestamps(
     burst_multiplier: float,
     burst_period: float,
     diurnal_amplitude: float = 0.0,
-    diurnal_period: float = 24 * 3600.0,
+    diurnal_period: float = DAY,
 ) -> np.ndarray:
     """Arrival times from an on/off modulated Poisson process.
 
