@@ -1,0 +1,50 @@
+"""Benchmark registry, runner, history and regression gate.
+
+* :mod:`repro.bench.registry` — the ``@bench("name")`` decorator and
+  the process-wide benchmark table;
+* :mod:`repro.bench.suite` — the built-in hot-path benchmarks
+  (importing :mod:`repro.bench` registers them);
+* :mod:`repro.bench.runner` — timing, the ``BENCH_history.jsonl``
+  trajectory, the committed baseline and the regression check behind
+  ``repro bench --check``.
+"""
+
+from .registry import BenchError, BenchInfo, all_benches, bench, get_bench, unregister
+from .runner import (
+    DEFAULT_MIN_DELTA_MS,
+    DEFAULT_REPEATS,
+    DEFAULT_TOLERANCE,
+    HISTORY_SCHEMA,
+    BenchResult,
+    RegressionReport,
+    append_history,
+    check_regressions,
+    load_baseline,
+    read_history,
+    run_bench,
+    run_suite,
+    write_baseline,
+)
+from . import suite  # noqa: F401  (registers the built-in benchmarks)
+
+__all__ = [
+    "bench",
+    "unregister",
+    "BenchError",
+    "BenchInfo",
+    "BenchResult",
+    "RegressionReport",
+    "all_benches",
+    "get_bench",
+    "run_bench",
+    "run_suite",
+    "append_history",
+    "read_history",
+    "load_baseline",
+    "write_baseline",
+    "check_regressions",
+    "HISTORY_SCHEMA",
+    "DEFAULT_REPEATS",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_MIN_DELTA_MS",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.bench`` — shorthand for ``repro bench``."""
+
+from __future__ import annotations
+
+import sys
+
+from ..cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

@@ -1,0 +1,79 @@
+"""The benchmark registry: named, discoverable micro-benchmarks.
+
+A benchmark is registered by decorating a *setup function* — called
+once per run, outside the timed region — that returns the zero-arg
+thunk actually timed::
+
+    @bench("evaluate", description="one design x one scenario")
+    def bench_evaluate():
+        design, workload, scenario, reqs = ...   # setup, untimed
+        def run():
+            evaluate(design, workload, scenario, reqs)
+        return run
+
+The registry is populated by importing :mod:`repro.bench.suite` (the
+built-in hot-path benchmarks); tests register throwaway benchmarks
+directly and unregister them again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..exceptions import ReproError
+
+
+class BenchError(ReproError):
+    """A benchmark registration or lookup problem."""
+
+
+@dataclass(frozen=True)
+class BenchInfo:
+    """One registered benchmark: its name and setup function."""
+
+    name: str
+    setup: "Callable[[], Callable[[], object]]"
+    description: str = ""
+
+
+#: Every registered benchmark, keyed by name, in registration order.
+BENCHES: "Dict[str, BenchInfo]" = {}
+
+
+def bench(
+    name: str, description: str = ""
+) -> "Callable[[Callable[[], Callable[[], object]]], Callable[[], Callable[[], object]]]":
+    """Register the decorated setup function under ``name``."""
+
+    def register(setup: "Callable[[], Callable[[], object]]"):
+        if name in BENCHES:
+            raise BenchError(f"benchmark {name!r} is already registered")
+        BENCHES[name] = BenchInfo(
+            name=name, setup=setup, description=description or (setup.__doc__ or "")
+        )
+        return setup
+
+    return register
+
+
+def unregister(name: str) -> None:
+    """Drop one benchmark (tests clean up after themselves)."""
+    BENCHES.pop(name, None)
+
+
+def get_bench(name: str) -> BenchInfo:
+    """The named benchmark, or a :class:`BenchError` naming the options."""
+    try:
+        return BENCHES[name]
+    except KeyError:
+        known = ", ".join(sorted(BENCHES)) or "(none registered)"
+        raise BenchError(f"unknown benchmark {name!r}; known: {known}") from None
+
+
+def all_benches(pattern: "Optional[str]" = None) -> "List[BenchInfo]":
+    """Registered benchmarks, optionally filtered by name substring."""
+    infos = list(BENCHES.values())
+    if pattern is not None:
+        infos = [info for info in infos if pattern in info.name]
+    return infos

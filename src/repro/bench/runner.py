@@ -1,0 +1,213 @@
+"""Run registered benchmarks; keep a history; gate on regressions.
+
+One run produces a :class:`BenchResult` per benchmark (median/mean/
+min/max wall-clock milliseconds over ``repeats`` timed calls, after
+one untimed warmup).  Results append to a JSON-lines history file —
+``BENCH_history.jsonl`` at the repo root, one record per benchmark per
+run — turning the per-PR benchmark snapshots into a queryable
+trajectory.  The record schema is documented in ``benchmarks/README.md``.
+
+:func:`check_regressions` compares a run against the committed
+baseline (``benchmarks/BENCH_baseline.json``).  The compared measure
+is the *best-of-N* (``min_ms``) — the least noise-sensitive
+microbenchmark statistic — and a benchmark regresses only when it
+exceeds the baseline by **both** the relative tolerance and an
+absolute slack (``min_delta_ms``), so sub-millisecond benchmarks on
+noisy shared runners cannot flake the gate while a real hot-path
+regression still fails it.  Benchmarks absent from the baseline are
+reported as new, never failed.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+import time
+from dataclasses import dataclass
+from typing import IO, Any, Dict, List, Optional, Sequence, Union
+
+from .registry import BenchInfo, get_bench
+
+#: Version tag stamped on every history record.
+HISTORY_SCHEMA = 1
+
+#: Default acceptable slowdown vs. the baseline best-of-N (50%):
+#: generous enough for shared-CI noise, tight enough to catch a real
+#: hot-path regression.
+DEFAULT_TOLERANCE = 0.5
+
+#: Default absolute slack: a regression must also be at least this
+#: many milliseconds over baseline, so microsecond-scale jitter on a
+#: 20 us benchmark never trips the relative gate.
+DEFAULT_MIN_DELTA_MS = 1.0
+
+DEFAULT_REPEATS = 10
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """The timings of one benchmark in one run."""
+
+    name: str
+    repeats: int
+    median_ms: float
+    mean_ms: float
+    min_ms: float
+    max_ms: float
+
+    def record(self, timestamp: "Optional[float]" = None) -> "Dict[str, Any]":
+        """The history-file record of this result (see benchmarks/README.md)."""
+        return {
+            "schema": HISTORY_SCHEMA,
+            "kind": "bench",
+            "timestamp": time.time() if timestamp is None else timestamp,
+            "python": sys.version.split()[0],
+            "name": self.name,
+            "repeats": self.repeats,
+            "median_ms": round(self.median_ms, 4),
+            "mean_ms": round(self.mean_ms, 4),
+            "min_ms": round(self.min_ms, 4),
+            "max_ms": round(self.max_ms, 4),
+        }
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """One benchmark's comparison against the baseline (best-of-N)."""
+
+    name: str
+    measured_ms: float            # this run's min_ms
+    baseline_ms: Optional[float]  # None: benchmark is new to the baseline
+    tolerance: float
+    min_delta_ms: float = DEFAULT_MIN_DELTA_MS
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """Measured / baseline best (None for new benchmarks)."""
+        if self.baseline_ms is None or self.baseline_ms <= 0:
+            return None
+        return self.measured_ms / self.baseline_ms
+
+    @property
+    def regressed(self) -> bool:
+        """Over baseline by both the relative tolerance and the
+        absolute slack."""
+        ratio = self.ratio
+        if ratio is None:
+            return False
+        delta = self.measured_ms - (self.baseline_ms or 0.0)
+        return ratio > 1.0 + self.tolerance and delta > self.min_delta_ms
+
+    def describe(self) -> str:
+        if self.baseline_ms is None:
+            return f"{self.name}: {self.measured_ms:.3f} ms (new, no baseline)"
+        verdict = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.name}: best {self.measured_ms:.3f} ms vs baseline "
+            f"{self.baseline_ms:.3f} ms (x{self.ratio:.2f}, "
+            f"tolerance x{1.0 + self.tolerance:.2f} and "
+            f"+{self.min_delta_ms:g} ms) {verdict}"
+        )
+
+
+def run_bench(
+    info: "Union[BenchInfo, str]", repeats: int = DEFAULT_REPEATS
+) -> BenchResult:
+    """Time one benchmark: setup, one warmup call, ``repeats`` timed calls."""
+    if isinstance(info, str):
+        info = get_bench(info)
+    thunk = info.setup()
+    thunk()  # warmup: first-call caches and imports stay out of the timings
+    times: "List[float]" = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        thunk()
+        times.append((time.perf_counter() - t0) * 1e3)
+    return BenchResult(
+        name=info.name,
+        repeats=repeats,
+        median_ms=statistics.median(times),
+        mean_ms=statistics.fmean(times),
+        min_ms=min(times),
+        max_ms=max(times),
+    )
+
+
+def run_suite(
+    infos: "Sequence[BenchInfo]", repeats: int = DEFAULT_REPEATS
+) -> "List[BenchResult]":
+    """Time several benchmarks in order."""
+    return [run_bench(info, repeats=repeats) for info in infos]
+
+
+def append_history(
+    destination: "Union[str, IO[str]]",
+    results: "Sequence[BenchResult]",
+    timestamp: "Optional[float]" = None,
+) -> int:
+    """Append one JSONL record per result; returns the record count."""
+    stamp = time.time() if timestamp is None else timestamp
+    lines = [json.dumps(result.record(stamp)) for result in results]
+    text = "".join(line + "\n" for line in lines)
+    if isinstance(destination, str):
+        with open(destination, "a") as handle:
+            handle.write(text)
+    else:
+        destination.write(text)
+    return len(lines)
+
+
+def read_history(source: "Union[str, IO[str]]") -> "List[Dict[str, Any]]":
+    """All records of a history file (blank lines skipped)."""
+    if isinstance(source, str):
+        with open(source) as handle:
+            lines = handle.readlines()
+    else:
+        lines = source.readlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def load_baseline(path: str) -> "Dict[str, float]":
+    """The committed baseline: benchmark name -> best-of-N milliseconds."""
+    with open(path) as handle:
+        document = json.load(handle)
+    benches = document.get("benchmarks", document)
+    return {str(name): float(value) for name, value in benches.items()}
+
+
+def write_baseline(path: str, results: "Sequence[BenchResult]") -> None:
+    """Write the results' best-of-N times as a new committed baseline."""
+    document = {
+        "schema": HISTORY_SCHEMA,
+        "measure": "min_ms",
+        "python": sys.version.split()[0],
+        "repeats": results[0].repeats if results else 0,
+        "benchmarks": {
+            result.name: round(result.min_ms, 4) for result in results
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+
+
+def check_regressions(
+    results: "Sequence[BenchResult]",
+    baseline: "Dict[str, float]",
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_delta_ms: float = DEFAULT_MIN_DELTA_MS,
+) -> "List[RegressionReport]":
+    """Compare every result's best-of-N against the baseline."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    return [
+        RegressionReport(
+            name=result.name,
+            measured_ms=result.min_ms,
+            baseline_ms=baseline.get(result.name),
+            tolerance=tolerance,
+            min_delta_ms=min_delta_ms,
+        )
+        for result in results
+    ]

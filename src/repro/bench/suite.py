@@ -1,0 +1,155 @@
+"""The built-in benchmarks: every hot path the framework exposes.
+
+Importing this module populates the registry (:data:`~repro.bench.registry.BENCHES`)
+with the paths the ROADMAP cares about: single/multi-scenario
+evaluation, the design-space optimizer, a sensitivity sweep, the
+recovery simulator, and both linters.  Timed thunks construct their
+designs fresh per call where the device ledgers are stateful — the
+same convention as ``benchmarks/bench_evaluate.py``, so medians are
+comparable with the seeded history.
+"""
+
+from __future__ import annotations
+
+from .registry import bench
+
+
+@bench("evaluate", description="one design x one failure scenario")
+def bench_evaluate():
+    from .. import casestudy
+    from ..core.evaluate import evaluate
+    from ..workload.presets import cello
+
+    workload = cello()
+    requirements = casestudy.case_study_requirements()
+    scenario = casestudy.array_failure_scenario()
+
+    def run():
+        evaluate(casestudy.baseline_design(), workload, scenario, requirements)
+
+    return run
+
+
+@bench("evaluate_scenarios", description="one design x the case-study scenarios")
+def bench_evaluate_scenarios():
+    from .. import casestudy
+    from ..core.evaluate import evaluate_scenarios
+    from ..workload.presets import cello
+
+    workload = cello()
+    requirements = casestudy.case_study_requirements()
+    scenarios = casestudy.case_study_scenarios()
+
+    def run():
+        evaluate_scenarios(
+            casestudy.baseline_design(), workload, scenarios, requirements
+        )
+
+    return run
+
+
+@bench("optimize", description="catalog design-space search, two scenarios")
+def bench_optimize():
+    from .. import casestudy
+    from ..design import DesignSpace, candidate_designs, optimize
+    from ..workload.presets import cello
+
+    workload = cello()
+    requirements = casestudy.case_study_requirements()
+    scenarios = [
+        casestudy.array_failure_scenario(),
+        casestudy.site_failure_scenario(),
+    ]
+
+    def run():
+        optimize(candidate_designs(DesignSpace()), workload, scenarios, requirements)
+
+    return run
+
+
+@bench("sensitivity.sweep", description="WAN link-count sweep, four points")
+def bench_sensitivity_sweep():
+    from .. import casestudy
+    from ..design.sensitivity import sweep_link_count
+    from ..workload.presets import cello
+
+    workload = cello()
+    requirements = casestudy.case_study_requirements()
+    scenario = casestudy.site_failure_scenario()
+
+    def run():
+        sweep_link_count([1, 2, 4, 10], workload, scenario, requirements)
+
+    return run
+
+
+@bench("recovery.simulate", description="processor-sharing replay of the baseline plan")
+def bench_recovery_simulate():
+    from .. import casestudy
+    from ..core.demands import register_design_demands
+    from ..core.recovery import plan_recovery
+    from ..scenarios.failures import FailureScenario
+    from ..simulation import RecoverySimulator
+    from ..workload.presets import cello
+
+    design = casestudy.baseline_design()
+    register_design_demands(design, cello())
+    plan = plan_recovery(
+        design, FailureScenario.array_failure("primary-array"), cello()
+    )
+    devices = {d.name: d for d in design.devices()}
+    bandwidths = {
+        name: dev.max_bandwidth * dev.recovery_read_efficiency
+        for name, dev in devices.items()
+        if dev.max_bandwidth != float("inf")
+    }
+    demands = {
+        name: dev.bandwidth_demand() * dev.recovery_read_efficiency
+        for name, dev in devices.items()
+        if dev.max_bandwidth != float("inf")
+    }
+    transfers = RecoverySimulator.transfers_from_plan(
+        plan, devices_per_transfer=[("tape-library", "primary-array")]
+    )
+
+    def run():
+        RecoverySimulator(bandwidths, demands, background_load=1.0).simulate(
+            transfers
+        )
+
+    return run
+
+
+@bench("lint.spec", description="design rules over the baseline spec")
+def bench_lint_spec():
+    from ..lint.engine import lint_spec
+
+    spec = {
+        "workload": "cello",
+        "design": "baseline",
+        "scenarios": ["object", "array", "site"],
+        "requirements": {
+            "unavailability_per_hour": 50_000,
+            "loss_per_hour": 50_000,
+        },
+    }
+
+    def run():
+        lint_spec(spec)
+
+    return run
+
+
+@bench("lint.codelint", description="AST code lint over repro.core.evaluate")
+def bench_lint_codelint():
+    import inspect
+
+    from ..core import evaluate as evaluate_module
+    from ..lint.codelint import lint_source
+
+    source = inspect.getsource(evaluate_module)
+
+    def run():
+        lint_source(source, filename="bench/evaluate.py", allowlist=())
+
+    return run

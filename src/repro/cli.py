@@ -5,12 +5,18 @@ Usage::
     python -m repro case-study                 # reproduce Tables 5-7
     python -m repro evaluate spec.json         # evaluate a JSON spec
     python -m repro list-designs               # named designs available
+    python -m repro bench --check              # hot-path benchmarks
 
-``case-study``, ``evaluate`` and ``optimize`` additionally accept
-observability flags: ``--trace`` prints a per-phase span tree plus a
-provenance explanation of each output metric, ``--metrics`` prints the
-run's metrics table, and ``--trace-out PATH`` writes spans and metrics
-as JSON lines for offline analysis.
+``case-study``, ``evaluate``, ``optimize`` and ``lint`` additionally
+accept observability flags: ``--trace`` prints a per-phase span tree
+plus a provenance explanation of each output metric, ``--profile``
+prints an aggregated span profile (call counts, cumulative and self
+time per span name), ``--metrics`` prints the run's metrics table,
+``--trace-out PATH`` writes spans and metrics as JSON lines for
+offline analysis, and ``--metrics-out PATH`` writes the metrics in the
+OpenMetrics/Prometheus text format.  When ``lint`` emits a machine
+format (``--format json``/``sarif``), the observability reports go to
+stderr so stdout stays parseable.
 
 A spec file looks like::
 
@@ -43,10 +49,18 @@ from .exceptions import ReproError
 from .lint.diagnostics import exit_code as lint_exit_code
 from .lint.output import FORMATS as LINT_FORMATS
 from .lint.output import render as render_diagnostics
-from .obs import MetricsRegistry, Tracer, set_metrics, set_tracer, write_trace_jsonl
+from .obs import (
+    MetricsRegistry,
+    Tracer,
+    set_metrics,
+    set_tracer,
+    write_openmetrics,
+    write_trace_jsonl,
+)
 from .obs import reset as reset_obs
 from .reporting.obs_report import (
     metrics_report,
+    profile_report,
     provenance_report,
     span_tree_report,
 )
@@ -202,12 +216,101 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return 0 if outcome.best is not None else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Run registered benchmarks; record history; gate on regressions."""
+    from . import bench as bench_pkg
+    from .reporting.tables import Table
+
+    infos = bench_pkg.all_benches(args.filter)
+    if not infos:
+        print(f"error: no benchmarks match {args.filter!r}", file=sys.stderr)
+        return 2
+    if args.list:
+        for info in infos:
+            print(f"{info.name}: {info.description}")
+        return 0
+
+    results = bench_pkg.run_suite(infos, repeats=args.repeats)
+    table = Table(
+        headers=["benchmark", "median ms", "mean ms", "min ms", "max ms"],
+        title=f"Benchmarks ({args.repeats} repeats each)",
+    )
+    for result in results:
+        table.add_row(
+            result.name,
+            f"{result.median_ms:.3f}",
+            f"{result.mean_ms:.3f}",
+            f"{result.min_ms:.3f}",
+            f"{result.max_ms:.3f}",
+        )
+    print(table.render())
+
+    if args.json_out is not None:
+        import time as time_module
+
+        stamp = time_module.time()
+        payload = {"results": [result.record(stamp) for result in results]}
+        with open(args.json_out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote results to {args.json_out}", file=sys.stderr)
+    if not args.no_history:
+        count = bench_pkg.append_history(args.history, results)
+        print(f"appended {count} records to {args.history}", file=sys.stderr)
+    if args.update_baseline:
+        bench_pkg.write_baseline(args.baseline, results)
+        print(f"updated baseline {args.baseline}", file=sys.stderr)
+
+    if args.check:
+        tolerance = (
+            bench_pkg.DEFAULT_TOLERANCE
+            if args.tolerance is None
+            else args.tolerance
+        )
+        min_delta = (
+            bench_pkg.DEFAULT_MIN_DELTA_MS
+            if args.min_delta is None
+            else args.min_delta
+        )
+        try:
+            baseline = bench_pkg.load_baseline(args.baseline)
+        except FileNotFoundError:
+            print(
+                f"error: no baseline at {args.baseline} "
+                "(run with --update-baseline first)",
+                file=sys.stderr,
+            )
+            return 2
+        reports = bench_pkg.check_regressions(
+            results, baseline, tolerance=tolerance, min_delta_ms=min_delta
+        )
+        print()
+        for report in reports:
+            print(report.describe())
+        regressed = [report for report in reports if report.regressed]
+        if regressed:
+            print(
+                f"FAIL: {len(regressed)} benchmark(s) regressed beyond "
+                f"{tolerance * 100:.0f}% tolerance",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: no regressions beyond {tolerance * 100:.0f}% tolerance")
+    return 0
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """The shared observability flags of the evaluating subcommands."""
     parser.add_argument(
         "--trace",
         action="store_true",
         help="print a per-phase span tree and provenance explanations",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print an aggregated span profile (call counts, cumulative "
+        "and self time per span name, hot call paths)",
     )
     parser.add_argument(
         "--trace-out",
@@ -219,6 +322,12 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         "--metrics",
         action="store_true",
         help="print the run's metrics (counters, gauges, histograms)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        default=None,
+        help="write the run's metrics in OpenMetrics text format to PATH",
     )
 
 
@@ -274,6 +383,59 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--rpo", default=None, help='recovery point objective, e.g. "1 hr"')
     _add_obs_flags(opt)
     opt.set_defaults(func=_cmd_optimize)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the registered hot-path benchmarks",
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=5,
+        help="timed calls per benchmark after one warmup (default: 5)",
+    )
+    bench.add_argument(
+        "--filter", metavar="SUBSTRING", default=None,
+        help="only run benchmarks whose name contains SUBSTRING",
+    )
+    bench.add_argument(
+        "--list", action="store_true",
+        help="list the registered benchmarks and exit",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if any benchmark regresses beyond --tolerance vs "
+        "the committed baseline",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=None,
+        help="acceptable slowdown vs the baseline best-of-N as a "
+        "fraction (default: 0.5)",
+    )
+    bench.add_argument(
+        "--min-delta", type=float, default=None, metavar="MS",
+        help="a regression must also exceed the baseline by this many "
+        "milliseconds (default: 1.0)",
+    )
+    bench.add_argument(
+        "--baseline", metavar="PATH", default="benchmarks/BENCH_baseline.json",
+        help="committed baseline medians (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--history", metavar="PATH", default="BENCH_history.jsonl",
+        help="JSONL trajectory to append results to (default: %(default)s)",
+    )
+    bench.add_argument(
+        "--no-history", action="store_true",
+        help="do not append to the history file",
+    )
+    bench.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file with this run's medians",
+    )
+    bench.add_argument(
+        "--json-out", metavar="PATH", default=None,
+        help="also write this run's records as one JSON document to PATH",
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 
@@ -283,11 +445,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     trace = getattr(args, "trace", False)
+    profile = getattr(args, "profile", False)
     trace_out = getattr(args, "trace_out", None)
     want_metrics = getattr(args, "metrics", False)
-    tracer = set_tracer(Tracer()) if (trace or trace_out) else None
+    metrics_out = getattr(args, "metrics_out", None)
+    tracer = set_tracer(Tracer()) if (trace or profile or trace_out) else None
     registry = (
-        set_metrics(MetricsRegistry()) if (want_metrics or trace_out) else None
+        set_metrics(MetricsRegistry())
+        if (want_metrics or trace_out or metrics_out)
+        else None
+    )
+    # Machine formats (lint --format json/sarif) own stdout; the
+    # human observability reports move to stderr so stdout stays
+    # parseable — the same contract evaluate/optimize keep implicitly.
+    report_stream = (
+        sys.stderr if getattr(args, "format", "human") != "human" else sys.stdout
     )
     try:
         try:
@@ -299,11 +471,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             code = 2
         if tracer is not None and trace:
-            print()
-            print(span_tree_report(tracer))
+            print(file=report_stream)
+            print(span_tree_report(tracer), file=report_stream)
+        if tracer is not None and profile:
+            print(file=report_stream)
+            print(profile_report(tracer), file=report_stream)
         if registry is not None and want_metrics:
-            print()
-            print(metrics_report(registry))
+            print(file=report_stream)
+            print(metrics_report(registry), file=report_stream)
         if trace_out is not None:
             try:
                 count = write_trace_jsonl(
@@ -313,6 +488,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"error: cannot write trace: {exc}", file=sys.stderr)
                 return 2
             print(f"wrote {count} trace records to {trace_out}", file=sys.stderr)
+        if metrics_out is not None and registry is not None:
+            try:
+                write_openmetrics(metrics_out, registry)
+            except OSError as exc:
+                print(f"error: cannot write metrics: {exc}", file=sys.stderr)
+                return 2
+            print(f"wrote OpenMetrics to {metrics_out}", file=sys.stderr)
         return code
     finally:
         if tracer is not None or registry is not None:

@@ -23,10 +23,23 @@ from __future__ import annotations
 import json
 from typing import Any, Iterable, List, Mapping, Optional, Sequence
 
-from ..obs import get_tracer
+from ..obs import get_metrics, get_tracer
 from . import rules as _rules  # noqa: F401  (registers the DEP rules)
 from .diagnostics import Diagnostic
 from .registry import RuleContext, make, run_rules
+
+
+def _record_reported(diagnostics: "Iterable[Diagnostic]") -> None:
+    """Count the diagnostics actually reported, per severity.
+
+    Emitted here — after ``lint.expect`` suppression, including the
+    engine-made DEP000/DEP099 findings — so ``lint.diagnostics.<sev>``
+    always agrees with what the user sees, the way ``evaluate``'s
+    metrics reflect its outputs.
+    """
+    metrics = get_metrics()
+    for diagnostic in diagnostics:
+        metrics.inc(f"lint.diagnostics.{diagnostic.severity.value}")
 
 
 def lint_design(
@@ -151,29 +164,39 @@ def _apply_expectations(
 
 
 def lint_file(path: str) -> "List[Diagnostic]":
-    """Lint one JSON spec file; diagnostics carry the file path."""
+    """Lint one JSON spec file; diagnostics carry the file path.
+
+    The ``lint.files`` counter and per-severity
+    ``lint.diagnostics.<severity>`` counters cover the file's final
+    reported diagnostics (JSON failures included).
+    """
     tracer = get_tracer()
     with tracer.span("lint.file", path=path):
+        get_metrics().inc("lint.files")
         try:
             with open(path) as handle:
                 spec = json.load(handle)
         except json.JSONDecodeError as exc:
-            return [
+            diagnostics = [
                 make(
                     "DEP000",
                     f"spec is not valid JSON: {exc}",
                     hint="fix the JSON syntax",
                 ).with_file(path)
             ]
-        if not isinstance(spec, Mapping):
-            return [
-                make(
-                    "DEP000",
-                    "spec must be a JSON object with workload/design/"
-                    "scenarios/requirements keys",
-                ).with_file(path)
-            ]
-        return [d.with_file(path) for d in lint_spec(spec)]
+        else:
+            if not isinstance(spec, Mapping):
+                diagnostics = [
+                    make(
+                        "DEP000",
+                        "spec must be a JSON object with workload/design/"
+                        "scenarios/requirements keys",
+                    ).with_file(path)
+                ]
+            else:
+                diagnostics = [d.with_file(path) for d in lint_spec(spec)]
+        _record_reported(diagnostics)
+        return diagnostics
 
 
 def lint_files(paths: "Sequence[str]") -> "List[Diagnostic]":

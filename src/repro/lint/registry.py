@@ -12,8 +12,10 @@ declared with the :func:`rule` decorator::
 Rules are pure queries: they never mutate the design (the one rule that
 needs the demand ledger snapshots and restores it) and never evaluate.
 :func:`run_rules` executes a selected (or every) rule against a context,
-emitting ``lint.rules_run`` / ``lint.diagnostics.<severity>`` metrics
-and a ``lint.rules`` tracer span through :mod:`repro.obs`.
+emitting the ``lint.rules_run`` metric and a ``lint.rules`` tracer span
+through :mod:`repro.obs`.  Per-severity ``lint.diagnostics.<severity>``
+counters are emitted by the engine over the *reported* set (after
+``lint.expect`` suppression), so the metrics always match the output.
 """
 
 from __future__ import annotations
@@ -155,8 +157,6 @@ def run_rules(
         for info in selected:
             assert info.function is not None  # filtered above
             metrics.inc("lint.rules_run")
-            for diagnostic in info.function(context):
-                metrics.inc(f"lint.diagnostics.{diagnostic.severity.value}")
-                diagnostics.append(diagnostic)
+            diagnostics.extend(info.function(context))
         span.set(diagnostics=len(diagnostics))
     return diagnostics

@@ -16,8 +16,12 @@ Zero-dependency instrumentation for the evaluation pipeline:
   record attached to every :class:`~repro.core.results.Assessment`:
   which recovery source was chosen, why planning failed, which penalty
   term and outlay dominated, validation warnings, per-phase timings;
+* :mod:`repro.obs.profile` — span aggregation into per-name and
+  per-call-path profiles (call counts, cumulative and self time; the
+  CLI's ``--profile``);
 * :mod:`repro.obs.export` — JSON-lines export/import of span trees and
-  metric snapshots (the CLI's ``--trace-out``).
+  metric snapshots (the CLI's ``--trace-out``), plus the
+  OpenMetrics/Prometheus text exposition of a metrics registry.
 
 Enable everything for one block of code::
 
@@ -43,10 +47,13 @@ from .metrics import (
     use_metrics,
 )
 from .provenance import EvaluationProvenance, explain_assessment
+from .profile import PathNode, Profile, ProfileEntry, build_profile
 from .export import (
     metric_records,
+    openmetrics_text,
     read_trace_jsonl,
     span_records,
+    write_openmetrics,
     write_trace_jsonl,
 )
 
@@ -76,9 +83,15 @@ __all__ = [
     "use_metrics",
     "EvaluationProvenance",
     "explain_assessment",
+    "Profile",
+    "ProfileEntry",
+    "PathNode",
+    "build_profile",
     "span_records",
     "metric_records",
     "write_trace_jsonl",
     "read_trace_jsonl",
+    "openmetrics_text",
+    "write_openmetrics",
     "reset",
 ]

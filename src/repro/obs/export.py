@@ -1,25 +1,33 @@
-"""JSON-lines export/import of traces and metric snapshots.
+"""Trace/metric export: JSON lines and OpenMetrics text exposition.
 
-The wire format is one JSON object per line, each tagged with a
+The JSONL wire format is one JSON object per line, each tagged with a
 ``kind``:
 
 * ``{"kind": "span", "name": ..., "parent": ..., "depth": ...,
-  "start_ms": ..., "end_ms": ..., "duration_ms": ..., "attributes": {...}}``
-  — spans in depth-first order, so a reader can rebuild the tree from
-  ``depth`` alone;
+  "start_ms": ..., "end_ms": ..., "duration_ms": ..., "status": "ok" |
+  "error", "attributes": {...}}`` — spans in depth-first order, so a
+  reader can rebuild the tree from ``depth`` alone; errored spans
+  additionally carry ``error_type`` / ``error_message``;
 * ``{"kind": "counter" | "gauge" | "histogram", "name": ..., ...}`` —
   one line per instrument of the metrics snapshot.
 
 Readers ignore lines whose ``kind`` they do not know, keeping the
 format forward-compatible.
+
+:func:`openmetrics_text` renders a metrics registry in the
+Prometheus/OpenMetrics text exposition format (the building block for
+a future ``/metrics`` endpoint): counters as ``<name>_total``, gauges
+verbatim, histograms as cumulative ``_bucket{le="..."}`` series plus
+``_sum``/``_count``, terminated by ``# EOF``.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from typing import IO, Any, Dict, List, Optional, Union
 
-from .metrics import MetricsRegistry
+from .metrics import BUCKET_BOUNDS, OVERFLOW_BUCKET, Histogram, MetricsRegistry
 from .tracer import Tracer
 
 
@@ -74,6 +82,86 @@ def write_trace_jsonl(
         for record in records:
             destination.write(json.dumps(record) + "\n")
     return len(records)
+
+
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    """A Prometheus-legal metric name (dots and dashes become ``_``)."""
+    sanitized = _INVALID_METRIC_CHARS.sub("_", name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _format_value(value: float) -> str:
+    """A float rendered the way Prometheus parsers expect."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _histogram_lines(name: str, histogram: Histogram) -> "List[str]":
+    """The ``_bucket``/``_sum``/``_count`` sample lines of one histogram.
+
+    Buckets are cumulative; empty buckets are elided (the format does
+    not require every boundary to appear) and the mandatory
+    ``le="+Inf"`` bucket always closes the series.
+    """
+    lines = [f"# TYPE {name} histogram"]
+    cumulative = 0
+    for index in sorted(histogram.buckets):
+        if index >= OVERFLOW_BUCKET:
+            break
+        cumulative += histogram.buckets[index]
+        bound = _format_value(BUCKET_BOUNDS[index])
+        lines.append(f'{name}_bucket{{le="{bound}"}} {cumulative}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {histogram.count}')
+    lines.append(f"{name}_sum {_format_value(histogram.total)}")
+    lines.append(f"{name}_count {histogram.count}")
+    return lines
+
+
+def openmetrics_text(registry: MetricsRegistry) -> str:
+    """The registry in OpenMetrics/Prometheus text exposition format.
+
+    Instrument names are sanitized (``evaluate.calls`` becomes
+    ``evaluate_calls``), counters gain the ``_total`` sample suffix,
+    and the exposition ends with the OpenMetrics ``# EOF`` marker.
+    """
+    lines: "List[str]" = []
+    for name, counter in sorted(registry.counters.items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_format_value(counter.value)}")
+    for name, gauge in sorted(registry.gauges.items()):
+        metric = _metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauge.value)}")
+    for name, histogram in sorted(registry.histograms.items()):
+        lines.extend(_histogram_lines(_metric_name(name), histogram))
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def write_openmetrics(
+    destination: "Union[str, IO[str]]", registry: MetricsRegistry
+) -> int:
+    """Write the OpenMetrics exposition; returns the character count."""
+    text = openmetrics_text(registry)
+    if isinstance(destination, str):
+        with open(destination, "w") as handle:
+            handle.write(text)
+    else:
+        destination.write(text)
+    return len(text)
 
 
 def read_trace_jsonl(source: "Union[str, IO[str]]") -> "List[Dict[str, Any]]":

@@ -5,13 +5,26 @@ Instruments are created on first use and keyed by dotted names
 The process default, :data:`NULL_METRICS`, discards every emission, so
 instrumented code costs a no-op method call when metrics are off;
 callers opt in with :func:`set_metrics` / :func:`use_metrics`.
+
+:class:`Histogram` keeps fixed log-spaced buckets alongside the exact
+count/total/min/max, so p50/p90/p99 are estimable from any snapshot
+without retaining observations, and the bucket layout is identical for
+every histogram (what the OpenMetrics exporter relies on).
+
+:class:`MetricsRegistry` is thread-safe: instrument creation and the
+one-shot emission helpers (:meth:`~MetricsRegistry.inc`,
+:meth:`~MetricsRegistry.set_gauge`, :meth:`~MetricsRegistry.observe`),
+``snapshot`` and ``reset`` hold one registry lock.  The disabled
+registry stays lock-free: its helpers are pure no-ops.
 """
 
 from __future__ import annotations
 
+import threading
+from bisect import bisect_left
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 
 @dataclass
@@ -40,15 +53,36 @@ class Gauge:
         self.value = value
 
 
+#: Shared log-spaced bucket upper bounds: four buckets per decade from
+#: 1e-7 to 1e9 (values beyond the last bound land in an overflow
+#: bucket).  Quarter-decade buckets bound the within-bucket percentile
+#: interpolation error by a factor of 10**0.25 ~ 1.78 before min/max
+#: clamping tightens it further.
+BUCKET_BOUNDS: "Tuple[float, ...]" = tuple(
+    10.0 ** (exponent / 4.0) for exponent in range(-28, 37)
+)
+
+#: The bucket index past the last bound (``le="+Inf"`` in exports).
+OVERFLOW_BUCKET = len(BUCKET_BOUNDS)
+
+
 @dataclass
 class Histogram:
-    """Summary statistics of observed values (count/total/min/max)."""
+    """Observed-value summary: exact count/total/min/max plus fixed
+    log-spaced buckets for percentile estimation.
+
+    ``buckets`` maps an index into :data:`BUCKET_BOUNDS` (the bucket's
+    upper bound; :data:`OVERFLOW_BUCKET` for values beyond the last
+    bound) to the number of observations that landed there.  Only
+    non-empty buckets are stored.
+    """
 
     name: str
     count: int = 0
     total: float = 0.0
     min: Optional[float] = None
     max: Optional[float] = None
+    buckets: "Dict[int, int]" = field(default_factory=dict)
 
     def observe(self, value: float) -> None:
         """Record one observation."""
@@ -56,87 +90,151 @@ class Histogram:
         self.total += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        index = bisect_left(BUCKET_BOUNDS, value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         """Average of the observations (0.0 before the first)."""
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, quantile: float) -> float:
+        """Estimate the value at ``quantile`` (in [0, 1]) from buckets.
+
+        Linear interpolation within the containing bucket, clamped to
+        the exact observed min/max (so estimates never fall outside the
+        observed range and single-observation histograms are exact).
+        Returns 0.0 before the first observation.
+        """
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {quantile!r}")
+        if not self.count or self.min is None or self.max is None:
+            return 0.0
+        target = quantile * self.count
+        cumulative = 0
+        for index in sorted(self.buckets):
+            in_bucket = self.buckets[index]
+            if cumulative + in_bucket >= target:
+                lower = BUCKET_BOUNDS[index - 1] if index > 0 else 0.0
+                upper = (
+                    BUCKET_BOUNDS[index]
+                    if index < OVERFLOW_BUCKET
+                    else self.max
+                )
+                fraction = (target - cumulative) / in_bucket
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, self.min), self.max)
+            cumulative += in_bucket
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        """Estimated median."""
+        return self.percentile(0.50)
+
+    @property
+    def p90(self) -> float:
+        """Estimated 90th percentile."""
+        return self.percentile(0.90)
+
+    @property
+    def p99(self) -> float:
+        """Estimated 99th percentile."""
+        return self.percentile(0.99)
+
 
 @dataclass
 class MetricsRegistry:
-    """Holds every instrument of one process (or one test)."""
+    """Holds every instrument of one process (or one test).
+
+    Instrument creation, the one-shot emission helpers, ``snapshot``
+    and ``reset`` are serialized on one registry lock, so concurrent
+    workers can share a registry.  Mutating an instrument through a
+    retained handle bypasses the lock — hot paths emit through the
+    helpers instead.
+    """
 
     counters: "Dict[str, Counter]" = field(default_factory=dict)
     gauges: "Dict[str, Gauge]" = field(default_factory=dict)
     histograms: "Dict[str, Histogram]" = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     enabled = True
 
     # -- instrument access (create on first use) ------------------------------
 
+    @staticmethod
+    def _instrument(table: "Dict[str, Any]", factory: "Callable[[str], Any]", name: str) -> Any:
+        """Fetch-or-create without locking (callers hold the lock)."""
+        try:
+            return table[name]
+        except KeyError:
+            instrument = table[name] = factory(name)
+            return instrument
+
     def counter(self, name: str) -> Counter:
         """The named counter, created at zero if new."""
-        try:
-            return self.counters[name]
-        except KeyError:
-            instrument = self.counters[name] = Counter(name)
-            return instrument
+        with self._lock:
+            return self._instrument(self.counters, Counter, name)
 
     def gauge(self, name: str) -> Gauge:
         """The named gauge, created at zero if new."""
-        try:
-            return self.gauges[name]
-        except KeyError:
-            instrument = self.gauges[name] = Gauge(name)
-            return instrument
+        with self._lock:
+            return self._instrument(self.gauges, Gauge, name)
 
     def histogram(self, name: str) -> Histogram:
         """The named histogram, created empty if new."""
-        try:
-            return self.histograms[name]
-        except KeyError:
-            instrument = self.histograms[name] = Histogram(name)
-            return instrument
+        with self._lock:
+            return self._instrument(self.histograms, Histogram, name)
 
     # -- one-shot emission helpers (what the hot paths call) ------------------
 
     def inc(self, name: str, amount: float = 1.0) -> None:
         """Increment the named counter."""
-        self.counter(name).inc(amount)
+        with self._lock:
+            self._instrument(self.counters, Counter, name).inc(amount)
 
     def set_gauge(self, name: str, value: float) -> None:
         """Set the named gauge."""
-        self.gauge(name).set(value)
+        with self._lock:
+            self._instrument(self.gauges, Gauge, name).set(value)
 
     def observe(self, name: str, value: float) -> None:
         """Record one observation on the named histogram."""
-        self.histogram(name).observe(value)
+        with self._lock:
+            self._instrument(self.histograms, Histogram, name).observe(value)
 
     # -- lifecycle ------------------------------------------------------------
 
     def snapshot(self) -> "Dict[str, Any]":
         """A JSON-friendly copy of every instrument's current state."""
-        return {
-            "counters": {name: c.value for name, c in sorted(self.counters.items())},
-            "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
-            "histograms": {
-                name: {
-                    "count": h.count,
-                    "total": h.total,
-                    "mean": h.mean,
-                    "min": h.min,
-                    "max": h.max,
-                }
-                for name, h in sorted(self.histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": {name: c.value for name, c in sorted(self.counters.items())},
+                "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
+                "histograms": {
+                    name: {
+                        "count": h.count,
+                        "total": h.total,
+                        "mean": h.mean,
+                        "min": h.min,
+                        "max": h.max,
+                        "p50": h.p50,
+                        "p90": h.p90,
+                        "p99": h.p99,
+                    }
+                    for name, h in sorted(self.histograms.items())
+                },
+            }
 
     def reset(self) -> None:
         """Drop every instrument (tests call this between cases)."""
-        self.counters.clear()
-        self.gauges.clear()
-        self.histograms.clear()
+        with self._lock:
+            self.counters.clear()
+            self.gauges.clear()
+            self.histograms.clear()
 
 
 class NullMetricsRegistry(MetricsRegistry):

@@ -25,11 +25,19 @@ class Span:
     end: Optional[float] = None
     attributes: "Dict[str, Any]" = field(default_factory=dict)
     children: "List[Span]" = field(default_factory=list)
+    status: str = "ok"
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
 
     @property
     def finished(self) -> bool:
         """Whether the span has been closed."""
         return self.end is not None
+
+    @property
+    def failed(self) -> bool:
+        """Whether the span was exited by an exception."""
+        return self.status == "error"
 
     @property
     def duration(self) -> float:
@@ -55,13 +63,23 @@ class Span:
             yield from child.walk(depth + 1)
 
     def to_dict(self, parent: Optional[str] = None, depth: int = 0) -> "Dict[str, Any]":
-        """A flat JSON-friendly record (children are *not* embedded)."""
-        return {
+        """A flat JSON-friendly record (children are *not* embedded).
+
+        ``status`` distinguishes errored spans from completed ones;
+        failed spans additionally carry ``error_type`` and
+        ``error_message``.
+        """
+        record = {
             "name": self.name,
             "parent": parent,
             "depth": depth,
             "start_ms": round(self.start * 1e3, 6),
             "end_ms": None if self.end is None else round(self.end * 1e3, 6),
             "duration_ms": round(self.duration_ms, 6),
+            "status": self.status,
             "attributes": dict(self.attributes),
         }
+        if self.failed:
+            record["error_type"] = self.error_type
+            record["error_message"] = self.error_message
+        return record

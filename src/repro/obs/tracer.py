@@ -134,6 +134,9 @@ class Tracer:
     def _end(self, span: Span, exc: Optional[BaseException]) -> None:
         span.end = self.now()
         if exc is not None:
+            span.status = "error"
+            span.error_type = type(exc).__name__
+            span.error_message = str(exc)
             span.attributes.setdefault("error", repr(exc))
         # Tolerate mis-nested exits (e.g. a generator closed late) by
         # unwinding to the span being closed instead of corrupting the

@@ -1,0 +1,266 @@
+"""The benchmark registry, runner, history trajectory and regression gate."""
+
+import io
+import json
+
+import pytest
+
+import repro.bench as bench_pkg
+from repro.bench import (
+    BenchError,
+    BenchResult,
+    all_benches,
+    append_history,
+    bench,
+    check_regressions,
+    get_bench,
+    load_baseline,
+    read_history,
+    run_bench,
+    unregister,
+    write_baseline,
+)
+from repro.cli import main
+
+
+@pytest.fixture
+def throwaway_bench():
+    """Register a trivial benchmark; unregister afterwards."""
+    calls = {"setup": 0, "run": 0}
+
+    @bench("test.throwaway", description="test-only")
+    def _setup():
+        calls["setup"] += 1
+
+        def run():
+            calls["run"] += 1
+
+        return run
+
+    yield "test.throwaway", calls
+    unregister("test.throwaway")
+
+
+class TestRegistry:
+    def test_builtin_suite_covers_the_hot_paths(self):
+        names = {info.name for info in all_benches()}
+        assert {
+            "evaluate",
+            "evaluate_scenarios",
+            "optimize",
+            "sensitivity.sweep",
+            "recovery.simulate",
+            "lint.spec",
+        } <= names
+        assert len(names) >= 6
+
+    def test_duplicate_name_rejected(self, throwaway_bench):
+        name, _calls = throwaway_bench
+        with pytest.raises(BenchError):
+            bench(name)(lambda: (lambda: None))
+
+    def test_unknown_name_reports_options(self):
+        with pytest.raises(BenchError, match="unknown benchmark"):
+            get_bench("no.such.bench")
+
+    def test_filter_by_substring(self):
+        names = [info.name for info in all_benches("lint")]
+        assert names and all("lint" in name for name in names)
+
+
+class TestRunner:
+    def test_run_bench_times_warmup_plus_repeats(self, throwaway_bench):
+        name, calls = throwaway_bench
+        result = run_bench(name, repeats=4)
+        assert calls["setup"] == 1
+        assert calls["run"] == 5  # 1 warmup + 4 timed
+        assert result.name == name
+        assert result.repeats == 4
+        assert result.min_ms <= result.median_ms <= result.max_ms
+
+    def test_history_round_trip(self, throwaway_bench, tmp_path):
+        name, _calls = throwaway_bench
+        result = run_bench(name, repeats=2)
+        path = str(tmp_path / "history.jsonl")
+        assert append_history(path, [result, result]) == 2
+        records = read_history(path)
+        assert len(records) == 2
+        assert records[0]["name"] == name
+        assert records[0]["schema"] == bench_pkg.HISTORY_SCHEMA
+        assert records[0]["kind"] == "bench"
+        assert records[0]["median_ms"] == pytest.approx(
+            result.median_ms, abs=1e-3
+        )
+        # Appending grows, never truncates.
+        append_history(path, [result])
+        assert len(read_history(path)) == 3
+
+    def test_history_to_file_object(self, throwaway_bench):
+        name, _calls = throwaway_bench
+        buffer = io.StringIO()
+        append_history(buffer, [run_bench(name, repeats=1)], timestamp=123.0)
+        buffer.seek(0)
+        (record,) = read_history(buffer)
+        assert record["timestamp"] == 123.0
+
+    def test_baseline_round_trip(self, tmp_path):
+        path = str(tmp_path / "baseline.json")
+        results = [
+            BenchResult("a", 3, median_ms=2.0, mean_ms=2.0, min_ms=1.5, max_ms=2.5),
+            BenchResult("b", 3, median_ms=9.0, mean_ms=9.0, min_ms=8.0, max_ms=10.0),
+        ]
+        write_baseline(path, results)
+        assert load_baseline(path) == {"a": 1.5, "b": 8.0}
+
+
+class TestRegressionGate:
+    @staticmethod
+    def result(name, min_ms):
+        return BenchResult(
+            name, 3, median_ms=min_ms, mean_ms=min_ms, min_ms=min_ms,
+            max_ms=min_ms,
+        )
+
+    def test_regression_needs_relative_and_absolute_excess(self):
+        baseline = {"fast": 10.0, "tiny": 0.01}
+        reports = check_regressions(
+            [self.result("fast", 20.0), self.result("tiny", 0.02)],
+            baseline,
+            tolerance=0.5,
+            min_delta_ms=1.0,
+        )
+        by_name = {report.name: report for report in reports}
+        # 2x a 10 ms benchmark: over tolerance and over the slack.
+        assert by_name["fast"].regressed
+        # 2x a 10 us benchmark: over tolerance, under the slack -> noise.
+        assert not by_name["tiny"].regressed
+
+    def test_within_tolerance_passes(self):
+        reports = check_regressions(
+            [self.result("x", 12.0)], {"x": 10.0}, tolerance=0.5,
+            min_delta_ms=1.0,
+        )
+        assert not reports[0].regressed
+        assert "ok" in reports[0].describe()
+
+    def test_new_benchmark_never_fails(self):
+        (report,) = check_regressions([self.result("new", 5.0)], {})
+        assert report.baseline_ms is None
+        assert not report.regressed
+        assert "no baseline" in report.describe()
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            check_regressions([], {}, tolerance=-0.1)
+
+
+class TestBenchCommand:
+    def run_cli(self, tmp_path, *extra, history=True):
+        args = [
+            "bench",
+            "--filter", "test.cli",
+            "--repeats", "2",
+            "--baseline", str(tmp_path / "baseline.json"),
+            "--history", str(tmp_path / "history.jsonl"),
+        ]
+        if not history:
+            args.append("--no-history")
+        args.extend(extra)
+        return main(args)
+
+    @pytest.fixture
+    def cli_bench(self):
+        @bench("test.cli.noop", description="cli test benchmark")
+        def _setup():
+            return lambda: None
+
+        yield "test.cli.noop"
+        unregister("test.cli.noop")
+
+    def test_run_appends_history_and_prints_table(
+        self, cli_bench, tmp_path, capsys
+    ):
+        assert self.run_cli(tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "Benchmarks" in out
+        assert cli_bench in out
+        records = read_history(str(tmp_path / "history.jsonl"))
+        assert [r["name"] for r in records] == [cli_bench]
+
+    def test_check_without_baseline_errors(self, cli_bench, tmp_path, capsys):
+        assert self.run_cli(tmp_path, "--check", history=False) == 2
+        assert "no baseline" in capsys.readouterr().err
+
+    def test_check_passes_against_fresh_baseline(
+        self, cli_bench, tmp_path, capsys
+    ):
+        assert self.run_cli(tmp_path, "--update-baseline", history=False) == 0
+        assert self.run_cli(tmp_path, "--check", history=False) == 0
+        assert "OK: no regressions" in capsys.readouterr().out
+
+    def test_injected_regression_fails_check(self, cli_bench, tmp_path, capsys):
+        # A baseline claiming the sleep takes well under a nanosecond
+        # forces both the relative and absolute excess to trip.
+        baseline = tmp_path / "baseline.json"
+
+        @bench("test.cli.slow", description="deliberately slow")
+        def _setup():
+            import time
+
+            return lambda: time.sleep(0.003)
+
+        try:
+            baseline.write_text(
+                json.dumps(
+                    {"benchmarks": {cli_bench: 1e-9, "test.cli.slow": 1e-9}}
+                )
+            )
+            assert self.run_cli(tmp_path, "--check", history=False) == 1
+            captured = capsys.readouterr()
+            assert "REGRESSED" in captured.out
+            assert "FAIL" in captured.err
+        finally:
+            unregister("test.cli.slow")
+
+    def test_list_does_not_run(self, cli_bench, tmp_path, capsys):
+        assert self.run_cli(tmp_path, "--list") == 0
+        out = capsys.readouterr().out
+        assert "cli test benchmark" in out
+        assert not (tmp_path / "history.jsonl").exists()
+
+    def test_unknown_filter_errors(self, tmp_path, capsys):
+        assert main(["bench", "--filter", "zzz-no-such"]) == 2
+        assert "no benchmarks match" in capsys.readouterr().err
+
+    def test_json_out_document(self, cli_bench, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        assert self.run_cli(
+            tmp_path, "--json-out", str(out_path), history=False
+        ) == 0
+        document = json.loads(out_path.read_text())
+        assert [r["name"] for r in document["results"]] == [cli_bench]
+
+
+class TestCommittedArtifacts:
+    """The seeded trajectory and baseline stay loadable and consistent."""
+
+    def repo_root(self):
+        import pathlib
+
+        return pathlib.Path(__file__).resolve().parent.parent
+
+    def test_seeded_history_parses_and_starts_at_pr1(self):
+        records = read_history(str(self.repo_root() / "BENCH_history.jsonl"))
+        assert len(records) >= 10
+        seeded = [r for r in records if r.get("source") == "BENCH_evaluate.json"]
+        assert {r["name"] for r in seeded} == {
+            "evaluate", "evaluate_scenarios", "optimize",
+        }
+        assert all(r["schema"] == bench_pkg.HISTORY_SCHEMA for r in records)
+        assert all("median_ms" in r and "name" in r for r in records)
+
+    def test_committed_baseline_covers_the_suite(self):
+        baseline = load_baseline(
+            str(self.repo_root() / "benchmarks" / "BENCH_baseline.json")
+        )
+        assert {info.name for info in all_benches()} <= set(baseline)

@@ -197,3 +197,33 @@ class TestObservabilityFlags:
         out = capsys.readouterr().out
         assert "Trace (per-phase timings)" not in out
         assert "Provenance" not in out
+
+    def test_evaluate_profile_prints_span_profile(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"design": "baseline", "scenarios": ["array"]}))
+        assert main(["evaluate", str(spec), "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Span profile" in out
+        # Call counts, cumulative and self time per span name ...
+        assert "calls" in out and "cum ms" in out and "self ms" in out
+        assert "evaluate" in out and "recovery.plan" in out
+        # ... and the flamegraph-style merged call-path section.
+        assert "Hot call paths" in out
+
+    def test_case_study_profile(self, capsys):
+        assert main(["case-study", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Span profile" in out
+        assert "evaluate_scenarios" in out
+
+    def test_optimize_profile(self, capsys):
+        assert main(["optimize", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Span profile" in out
+        assert "optimize" in out
+
+    def test_profile_without_trace_skips_span_tree(self, capsys):
+        assert main(["case-study", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Span profile" in out
+        assert "Trace (per-phase timings)" not in out

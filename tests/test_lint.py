@@ -576,3 +576,37 @@ class TestLintCommand:
         out = capsys.readouterr().out
         assert "lint.rules_run" in out
         assert "lint.diagnostics.warning" in out
+        assert "lint.files" in out
+
+    def test_metrics_count_reported_not_raw_diagnostics(self, tmp_path, capsys):
+        # A suppressed expectation is not a reported diagnostic, so a
+        # clean verdict must come with no lint.diagnostics.* counters.
+        path = self.write_spec(
+            tmp_path,
+            "clean.json",
+            {"design": "baseline", "lint": {"expect": ["DEP003"]}},
+        )
+        assert main(["lint", path, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+        assert "lint.diagnostics" not in out
+        assert "lint.files" in out
+
+    def test_metrics_count_engine_made_diagnostics(self, tmp_path, capsys):
+        # DEP000 comes from the engine (unparseable file), not from any
+        # rule; it must still show up in the metrics.
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["lint", str(path), "--metrics"]) == 1
+        out = capsys.readouterr().out
+        assert "lint.diagnostics.error" in out
+
+    def test_json_format_with_metrics_keeps_stdout_parseable(
+        self, tmp_path, capsys
+    ):
+        path = self.write_spec(tmp_path, "w.json", {"design": "baseline"})
+        assert main(["lint", path, "--format", "json", "--metrics"]) == 0
+        captured = capsys.readouterr()
+        document = json.loads(captured.out)  # stdout is pure JSON
+        assert document["summary"]["warning"] == 1
+        assert "lint.rules_run" in captured.err  # metrics went to stderr

@@ -84,6 +84,29 @@ class TestSpans:
             pass
         assert [root.name for root in tracer.roots] == ["boom", "after"]
 
+    def test_exception_sets_status_type_and_message(self):
+        tracer = obs.Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("the message")
+        span = tracer.roots[0]
+        assert span.failed
+        assert span.status == "error"
+        assert span.error_type == "ValueError"
+        assert span.error_message == "the message"
+
+    def test_clean_exit_status_ok(self):
+        tracer = obs.Tracer()
+        with tracer.span("fine"):
+            pass
+        span = tracer.roots[0]
+        assert span.status == "ok"
+        assert not span.failed
+        assert span.error_type is None
+        record = span.to_dict()
+        assert record["status"] == "ok"
+        assert "error_type" not in record
+
 
 class TestTracerInjection:
     def test_default_is_a_noop(self):
@@ -165,6 +188,119 @@ class TestMetricsRegistry:
     def test_global_registry_is_reset_between_tests_b(self):
         assert obs.get_metrics().enabled is False
         assert obs.get_metrics().snapshot()["counters"] == {}
+
+
+class TestHistogramBuckets:
+    def test_single_observation_percentiles_are_exact(self):
+        histogram = obs.MetricsRegistry().histogram("h")
+        histogram.observe(12.0)
+        # min/max clamping pins every percentile to the one value.
+        assert histogram.p50 == 12.0
+        assert histogram.p90 == 12.0
+        assert histogram.p99 == 12.0
+
+    def test_percentiles_are_order_independent_estimates(self):
+        forward, backward = obs.Histogram("f"), obs.Histogram("b")
+        values = [float(v) for v in range(1, 101)]
+        for value in values:
+            forward.observe(value)
+        for value in reversed(values):
+            backward.observe(value)
+        assert forward.buckets == backward.buckets
+        assert forward.p50 == backward.p50
+
+    def test_percentile_accuracy_within_bucket_resolution(self):
+        histogram = obs.Histogram("h")
+        for value in range(1, 1001):
+            histogram.observe(float(value))
+        # Quarter-decade log buckets: estimates within ~2x of truth is
+        # the guarantee; in practice interpolation does much better.
+        assert histogram.p50 == pytest.approx(500.0, rel=0.5)
+        assert histogram.p90 == pytest.approx(900.0, rel=0.5)
+        assert histogram.p99 == pytest.approx(990.0, rel=0.5)
+        # Estimates never leave the observed range and stay ordered.
+        assert 1.0 <= histogram.p50 <= histogram.p90 <= histogram.p99 <= 1000.0
+
+    def test_empty_histogram_percentiles_are_zero(self):
+        histogram = obs.Histogram("h")
+        assert histogram.p50 == 0.0
+        assert histogram.p99 == 0.0
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            obs.Histogram("h").percentile(1.5)
+
+    def test_nonpositive_values_land_in_the_first_bucket(self):
+        histogram = obs.Histogram("h")
+        histogram.observe(0.0)
+        histogram.observe(-3.0)
+        assert histogram.count == 2
+        assert histogram.buckets == {0: 2}
+        # Log buckets cannot resolve below zero; the estimate clamps
+        # into the observed [min, max] range.
+        assert histogram.min <= histogram.p50 <= histogram.max
+
+    def test_overflow_bucket(self):
+        from repro.obs.metrics import OVERFLOW_BUCKET
+
+        histogram = obs.Histogram("h")
+        histogram.observe(1e12)
+        assert histogram.buckets == {OVERFLOW_BUCKET: 1}
+        assert histogram.p99 == 1e12
+
+    def test_snapshot_includes_percentiles(self):
+        registry = obs.MetricsRegistry()
+        for value in (1.0, 2.0, 4.0):
+            registry.observe("latency", value)
+        stats = registry.snapshot()["histograms"]["latency"]
+        assert {"p50", "p90", "p99"} <= set(stats)
+        assert stats["min"] == 1.0 and stats["max"] == 4.0
+
+
+class TestThreadSafety:
+    def test_concurrent_emissions_are_not_lost(self):
+        import threading
+
+        registry = obs.MetricsRegistry()
+        per_thread, thread_count = 2000, 8
+
+        def hammer():
+            for i in range(per_thread):
+                registry.inc("calls")
+                registry.observe("latency", float(i % 7 + 1))
+                registry.set_gauge("depth", float(i))
+
+        threads = [threading.Thread(target=hammer) for _ in range(thread_count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = per_thread * thread_count
+        assert registry.counter("calls").value == expected
+        histogram = registry.histogram("latency")
+        assert histogram.count == expected
+        assert sum(histogram.buckets.values()) == expected
+
+    def test_concurrent_instrument_creation_yields_one_instrument(self):
+        import threading
+
+        registry = obs.MetricsRegistry()
+        barrier = threading.Barrier(8)
+        seen = []
+
+        def create(index):
+            barrier.wait()
+            seen.append(registry.counter("shared"))
+
+        threads = [
+            threading.Thread(target=create, args=(i,)) for i in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(registry.counters) == 1
+        assert all(instrument is seen[0] for instrument in seen)
 
 
 def _unprovisionable_design():
@@ -332,3 +468,69 @@ class TestExport:
 
     def test_metric_records_empty_registry(self):
         assert metric_records(obs.MetricsRegistry()) == []
+
+    def test_errored_spans_tagged_in_jsonl(self, tmp_path):
+        tracer = obs.Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("fails"):
+                raise ValueError("broken spec")
+        with tracer.span("succeeds"):
+            pass
+        path = str(tmp_path / "trace.jsonl")
+        write_trace_jsonl(path, tracer=tracer)
+        records = {r["name"]: r for r in read_trace_jsonl(path)}
+        assert records["fails"]["status"] == "error"
+        assert records["fails"]["error_type"] == "ValueError"
+        assert records["fails"]["error_message"] == "broken spec"
+        assert records["succeeds"]["status"] == "ok"
+        assert "error_type" not in records["succeeds"]
+
+
+class TestObsReportEdgeCases:
+    """The human reports under degenerate inputs (empty, single, error)."""
+
+    def test_metrics_report_empty_snapshot(self):
+        from repro.reporting.obs_report import metrics_report
+
+        report = metrics_report(obs.MetricsRegistry())
+        assert "(none recorded)" in report
+
+    def test_metrics_report_histogram_percentiles(self):
+        from repro.reporting.obs_report import metrics_report
+
+        registry = obs.MetricsRegistry()
+        registry.observe("latency", 5.0)
+        report = metrics_report(registry)
+        assert "p50=" in report and "p99=" in report
+
+    def test_span_tree_single_span(self):
+        from repro.reporting.obs_report import span_tree_report
+
+        tracer = obs.Tracer()
+        with tracer.span("only"):
+            pass
+        report = span_tree_report(tracer)
+        assert "only" in report
+        assert "ms" in report
+
+    def test_span_tree_empty(self):
+        from repro.reporting.obs_report import span_tree_report
+
+        assert "(no spans recorded)" in span_tree_report(obs.Tracer())
+
+    def test_span_tree_flags_exception_exiting_span(self):
+        from repro.reporting.obs_report import span_tree_report
+
+        tracer = obs.Tracer()
+        with pytest.raises(KeyError):
+            with tracer.span("lookup"):
+                raise KeyError("missing")
+        report = span_tree_report(tracer)
+        assert "ERROR KeyError" in report
+        # The raw repr is not duplicated through the attribute channel.
+        assert "[error=" not in report
+
+    def test_profile_report_zero_spans(self):
+        from repro.reporting.obs_report import profile_report
+
+        assert "(no spans recorded)" in profile_report(obs.Tracer())
