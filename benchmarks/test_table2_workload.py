@@ -12,7 +12,7 @@ bursty writes, and a batch update rate that declines with the window.
 import pytest
 
 from repro.reporting import Table
-from repro.units import GB, KB, MB, format_rate, format_size
+from repro.units import GB, HOUR, KB, MB, SECOND, format_rate, format_size
 from repro.workload import (
     SyntheticWorkloadConfig,
     characterize_trace,
@@ -25,9 +25,9 @@ WINDOWS = ["1 min", "10 min", "30 min", "1 hr"]
 def _characterize():
     config = SyntheticWorkloadConfig(
         data_capacity=4 * GB,
-        duration=4 * 3600.0,
-        avg_access_rate=1028 * KB,
-        avg_update_rate=799 * KB,
+        duration=4 * HOUR,
+        avg_access_rate=1028 * KB / SECOND,
+        avg_update_rate=799 * KB / SECOND,
         burst_multiplier=10.0,
         hot_fraction=0.02,
         hot_weight=0.85,

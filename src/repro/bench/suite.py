@@ -153,3 +153,18 @@ def bench_lint_codelint():
         lint_source(source, filename="bench/evaluate.py", allowlist=())
 
     return run
+
+
+@bench("lint.dimcheck", description="dimensional dataflow over repro.core.evaluate")
+def bench_lint_dimcheck():
+    import inspect
+
+    from ..core import evaluate as evaluate_module
+    from ..lint import dimcheck
+
+    source = inspect.getsource(evaluate_module)
+
+    def run():
+        dimcheck.lint_source(source, filename="bench/evaluate.py", allowlist=())
+
+    return run

@@ -152,10 +152,20 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    """Statically check spec files for dependability anti-patterns."""
-    from .lint.engine import lint_files
+    """Statically check spec files for dependability anti-patterns.
 
-    diagnostics = lint_files(args.specs)
+    ``repro lint dim [PATHS]`` instead runs the dimensional dataflow
+    checker (:mod:`repro.lint.dimcheck`) over Python source trees.
+    """
+    if args.specs and args.specs[0] == "dim":
+        from .lint.dimcheck import lint_paths
+
+        paths = args.specs[1:] or ["src/repro"]
+        diagnostics = lint_paths(paths, max_pragmas=args.max_pragmas)
+    else:
+        from .lint.engine import lint_files
+
+        diagnostics = lint_files(args.specs)
     print(render_diagnostics(diagnostics, args.format))
     return lint_exit_code(diagnostics, strict=args.strict)
 
@@ -353,11 +363,23 @@ def build_parser() -> argparse.ArgumentParser:
         "lint",
         help="statically check spec files for dependability anti-patterns",
     )
-    lint.add_argument("specs", nargs="+", help="JSON spec files to lint")
+    lint.add_argument(
+        "specs",
+        nargs="+",
+        help="JSON spec files to lint, or `dim [PATHS]` to run the "
+        "dimensional dataflow checker over Python source",
+    )
     lint.add_argument(
         "--strict",
         action="store_true",
         help="exit 1 on warnings as well as errors",
+    )
+    lint.add_argument(
+        "--max-pragmas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="(dim only) fail when more than N allow-dim pragmas exist",
     )
     lint.add_argument(
         "--format",

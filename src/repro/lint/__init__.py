@@ -1,6 +1,6 @@
 """Static analysis for designs and code (no evaluation involved).
 
-Two targets share one :class:`~repro.lint.diagnostics.Diagnostic`
+Three targets share one :class:`~repro.lint.diagnostics.Diagnostic`
 model:
 
 * **Design lint** — ``DEP###`` rules over a
@@ -10,7 +10,12 @@ model:
   ``lint_spec`` / ``lint_file`` from :mod:`repro.lint.engine`, or via
   the ``repro lint`` CLI subcommand.
 * **Code lint** — ``UNI###``/``EXC###`` AST rules over Python source
-  (:mod:`repro.lint.codelint`, ``python -m repro.lint.codelint src/``).
+  (:mod:`repro.lint.codelint`, ``python -m repro.lint.codelint``).
+* **Dimension check** — ``DIM###`` dimensional dataflow analysis over
+  Python source (:mod:`repro.lint.dimcheck`, ``repro lint dim``): a
+  flow-sensitive abstract interpreter inferring bytes/seconds/$ for
+  every expression and flagging mismatched arithmetic, arguments and
+  returns.
 
 This package root intentionally imports only the registry, the rules
 and the renderers — never :mod:`repro.lint.engine` — so that

@@ -2,7 +2,8 @@
 
 Run as::
 
-    python -m repro.lint.codelint src/
+    python -m repro.lint.codelint          # checks src/ examples/ benchmarks/
+    python -m repro.lint.codelint src/     # or an explicit path list
 
 Three rules, sharing the :class:`~repro.lint.diagnostics.Diagnostic`
 model with the design linter:
@@ -84,6 +85,11 @@ BROAD_EXCEPT_PRAGMA = "lint: allow-broad-except"
 #: Files the UNI rules never apply to: the module that *defines* the
 #: magnitudes, and this checker (which must name them to detect them).
 DEFAULT_ALLOWLIST = ("repro/units.py", "repro/lint/codelint.py")
+
+#: The trees a bare ``python -m repro.lint.codelint`` checks.  Examples
+#: and benchmarks import :mod:`repro.units` and carry the same raw-
+#: magnitude risk as the library, so they are checked by default too.
+DEFAULT_PATHS = ("src/", "examples/", "benchmarks/")
 
 #: Time magnitudes in seconds -> the repro.units constant to use.
 TIME_LITERALS: "Dict[float, str]" = {
@@ -333,7 +339,11 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         description="units-discipline and exception-hygiene checker",
     )
     parser.add_argument(
-        "paths", nargs="+", help="Python files or directories to check"
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="Python files or directories to check "
+        f"(default: {' '.join(DEFAULT_PATHS)})",
     )
     parser.add_argument(
         "--format", choices=FORMATS, default="human", help="output format"

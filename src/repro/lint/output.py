@@ -36,11 +36,13 @@ _TOOL_NAME = "repro-lint"
 
 
 def all_rule_infos() -> "List[RuleInfo]":
-    """Every known rule: design rules plus the code-lint rule table."""
+    """Every known rule: design rules plus both code-rule tables."""
     infos = list(RULES.values())
-    from . import codelint  # runtime import: codelint renders via this module
+    # runtime imports: codelint and dimcheck render via this module
+    from . import codelint, dimcheck
 
     infos.extend(codelint.CODE_RULES.values())
+    infos.extend(dimcheck.DIM_RULES.values())
     return infos
 
 

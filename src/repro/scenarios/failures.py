@@ -99,7 +99,7 @@ class FailureScenario:
         failed_location: Optional[Location] = None,
         recovery_target_age: Union[str, float] = 0.0,
         object_size: Union[str, float, None] = None,
-    ):
+    ) -> None:
         if not isinstance(scope, FailureScope):
             raise DesignError(f"scope must be a FailureScope, got {scope!r}")
         age = parse_duration(recovery_target_age)

@@ -48,7 +48,7 @@ class BusinessRequirements:
         loss_penalty_rate: float,
         rto: Union[str, float, None] = None,
         rpo: Union[str, float, None] = None,
-    ):
+    ) -> None:
         if unavailability_penalty_rate < 0 or loss_penalty_rate < 0:
             raise DesignError("penalty rates must be >= 0")
         rto_s = None if rto is None else parse_duration(rto)

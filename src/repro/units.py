@@ -24,11 +24,119 @@ CLI can use the same vocabulary as the paper's tables.
 from __future__ import annotations
 
 import re
-from typing import Union
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
 
 from .exceptions import UnitError
 
 Number = Union[int, float]
+
+
+# --------------------------------------------------------------------------
+# Physical dimensions.
+#
+# Every quantity the framework computes lives in one of four base
+# dimensions — sizes (bytes), durations (seconds), money (dollars) — or a
+# ratio of them (bytes/s, $/s).  A :class:`Dimension` records the integer
+# exponent of each base dimension, so derived dimensions fall out of
+# ordinary arithmetic: ``SIZE / TIME == RATE`` and ``RATE * TIME == SIZE``.
+# The dimension checker (:mod:`repro.lint.dimcheck`) uses this algebra to
+# typecheck expressions over the constants below.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """Integer exponents over the framework's base dimensions.
+
+    ``Dimension(size=1, time=-1)`` is bytes per second; the all-zero
+    dimension is a plain number (a count, fraction or utilization).
+    """
+
+    size: int = 0
+    time: int = 0
+    money: int = 0
+
+    def __mul__(self, other: "Dimension") -> "Dimension":
+        return Dimension(
+            size=self.size + other.size,
+            time=self.time + other.time,
+            money=self.money + other.money,
+        )
+
+    def __truediv__(self, other: "Dimension") -> "Dimension":
+        return Dimension(
+            size=self.size - other.size,
+            time=self.time - other.time,
+            money=self.money - other.money,
+        )
+
+    def __pow__(self, exponent: int) -> "Dimension":
+        return Dimension(
+            size=self.size * exponent,
+            time=self.time * exponent,
+            money=self.money * exponent,
+        )
+
+    @property
+    def is_dimensionless(self) -> bool:
+        """True for plain numbers (counts, fractions, utilizations)."""
+        return self.size == 0 and self.time == 0 and self.money == 0
+
+    def symbol(self) -> str:
+        """Human rendering: ``"bytes/s"``, ``"$/s"``, ``"1"``."""
+        numerator: "List[str]" = []
+        denominator: "List[str]" = []
+        for name, exponent in (
+            ("$", self.money),
+            ("bytes", self.size),
+            ("s", self.time),
+        ):
+            if exponent == 0:
+                continue
+            magnitude = abs(exponent)
+            part = name if magnitude == 1 else f"{name}^{magnitude}"
+            (numerator if exponent > 0 else denominator).append(part)
+        top = "*".join(numerator) or "1"
+        if not denominator:
+            return top
+        return f"{top}/{'*'.join(denominator)}"
+
+
+#: The base and derived dimensions of the framework's vocabulary.
+DIMENSIONLESS = Dimension()
+SIZE = Dimension(size=1)
+TIME = Dimension(time=1)
+MONEY = Dimension(money=1)
+RATE = SIZE / TIME
+MONEY_RATE = MONEY / TIME
+
+
+# --------------------------------------------------------------------------
+# Dimension-bearing ``float`` aliases for annotations.
+#
+# Pure documentation at runtime and for mypy (each is exactly ``float``),
+# but the dimension checker reads them: a parameter annotated ``Seconds``
+# is seeded with the TIME dimension and a function declared ``-> Bytes``
+# has its return expressions checked against SIZE (rule DIM003).
+# --------------------------------------------------------------------------
+
+Seconds = float
+Bytes = float
+BytesPerSecond = float
+Dollars = float
+DollarsPerSecond = float
+Fraction = float
+
+#: Annotation name -> dimension, for the checker's annotation seeding.
+ANNOTATION_DIMENSIONS: "Dict[str, Dimension]" = {
+    "Seconds": TIME,
+    "Bytes": SIZE,
+    "BytesPerSecond": RATE,
+    "Dollars": MONEY,
+    "DollarsPerSecond": MONEY_RATE,
+    "Fraction": DIMENSIONLESS,
+}
 
 # --------------------------------------------------------------------------
 # Size constants (binary, matching the paper's usage).
@@ -65,6 +173,50 @@ WEEK = 7 * DAY
 # use calendar years; 365 days is the convention adopted here.
 YEAR = 365 * DAY
 MONTH = YEAR / 12.0
+
+#: Machine-readable dimension metadata for every unit constant above.
+#: The dimension checker seeds its lattice from this table: an expression
+#: multiplying by ``GB`` carries SIZE, one multiplying by ``HOUR`` carries
+#: TIME.  Binary and decimal size constants share the SIZE dimension (the
+#: checker tracks the convention separately to flag binary/decimal mixing).
+DIMENSIONS: "Dict[str, Dimension]" = {
+    "BYTE": SIZE,
+    "KB": SIZE,
+    "MB": SIZE,
+    "GB": SIZE,
+    "TB": SIZE,
+    "PB": SIZE,
+    "KB_DEC": SIZE,
+    "MB_DEC": SIZE,
+    "GB_DEC": SIZE,
+    "TB_DEC": SIZE,
+    "BIT": SIZE,
+    "KBIT": SIZE,
+    "MBIT": SIZE,
+    "GBIT": SIZE,
+    "SECOND": TIME,
+    "MINUTE": TIME,
+    "HOUR": TIME,
+    "DAY": TIME,
+    "WEEK": TIME,
+    "MONTH": TIME,
+    "YEAR": TIME,
+}
+
+#: Constants that follow the decimal (10**n) convention; everything else
+#: in ``DIMENSIONS`` with the SIZE dimension is binary (2**n).  ``BIT``-
+#: family constants are decimal because link rates are quoted in powers
+#: of ten (an OC-3 is 155 * 10**6 bits/s).
+DECIMAL_SIZE_CONSTANTS: "Tuple[str, ...]" = (
+    "KB_DEC",
+    "MB_DEC",
+    "GB_DEC",
+    "TB_DEC",
+    "BIT",
+    "KBIT",
+    "MBIT",
+    "GBIT",
+)
 
 _SIZE_SUFFIXES = {
     "b": BYTE,

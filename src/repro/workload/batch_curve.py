@@ -20,7 +20,7 @@ between sample windows, which preserves both monotonicity properties.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, Mapping, Tuple, Union
+from typing import Dict, Iterator, List, Mapping, Tuple, Union
 
 from ..exceptions import WorkloadError
 from ..units import parse_duration, parse_rate
@@ -30,7 +30,7 @@ def _normalize_points(
     points: Mapping[Union[str, float], Union[str, float]],
 ) -> "Tuple[Tuple[float, float], ...]":
     """Convert a ``{window: rate}`` mapping into sorted (window, rate) pairs."""
-    normalized = []
+    normalized: "List[Tuple[float, float]]" = []
     for window, rate in points.items():
         window_s = parse_duration(window)
         rate_bps = parse_rate(rate)
@@ -76,7 +76,7 @@ class BatchUpdateCurve:
         self,
         points: Mapping[Union[str, float], Union[str, float]],
         short_window_rate: Union[str, float, None] = None,
-    ):
+    ) -> None:
         normalized = _normalize_points(points)
         if not normalized:
             raise WorkloadError("batch curve requires at least one sample point")

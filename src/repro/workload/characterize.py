@@ -124,11 +124,11 @@ def _enforce_monotone(points: "dict[float, float]") -> "dict[float, float]":
     least the previous window's count.
     """
     cleaned: "dict[float, float]" = {}
-    previous_window = None
-    previous_rate = None
+    previous_window: Optional[float] = None
+    previous_rate: Optional[float] = None
     for window in sorted(points):
         rate = points[window]
-        if previous_rate is not None:
+        if previous_window is not None and previous_rate is not None:
             rate = min(rate, previous_rate)
             min_bytes = previous_window * previous_rate
             rate = max(rate, min_bytes / window)

@@ -8,7 +8,7 @@ examples and the design-automation benches; they are not from the paper.
 
 from __future__ import annotations
 
-from ..units import GB, KB, MB
+from ..units import GB, KB, MB, SECOND
 from .batch_curve import BatchUpdateCurve
 from .spec import Workload
 
@@ -24,18 +24,18 @@ def cello() -> Workload:
     return Workload(
         name="cello workgroup file server",
         data_capacity=1360 * GB,
-        avg_access_rate=1028 * KB,
-        avg_update_rate=799 * KB,
+        avg_access_rate=1028 * KB / SECOND,
+        avg_update_rate=799 * KB / SECOND,
         burst_multiplier=10.0,
         batch_curve=BatchUpdateCurve(
             {
-                "1 min": 727 * KB,
-                "12 hr": 350 * KB,
-                "24 hr": 317 * KB,
-                "48 hr": 317 * KB,
-                "1 wk": 317 * KB,
+                "1 min": 727 * KB / SECOND,
+                "12 hr": 350 * KB / SECOND,
+                "24 hr": 317 * KB / SECOND,
+                "48 hr": 317 * KB / SECOND,
+                "1 wk": 317 * KB / SECOND,
             },
-            short_window_rate=799 * KB,
+            short_window_rate=799 * KB / SECOND,
         ),
     )
 
@@ -48,18 +48,18 @@ def oltp_database() -> Workload:
     return Workload(
         name="OLTP database",
         data_capacity=500 * GB,
-        avg_access_rate=24 * MB,
-        avg_update_rate=8 * MB,
+        avg_access_rate=24 * MB / SECOND,
+        avg_update_rate=8 * MB / SECOND,
         burst_multiplier=20.0,
         batch_curve=BatchUpdateCurve(
             {
-                "1 min": 6 * MB,
-                "1 hr": 2 * MB,
-                "12 hr": 800 * KB,
-                "24 hr": 600 * KB,
-                "1 wk": 400 * KB,
+                "1 min": 6 * MB / SECOND,
+                "1 hr": 2 * MB / SECOND,
+                "12 hr": 800 * KB / SECOND,
+                "24 hr": 600 * KB / SECOND,
+                "1 wk": 400 * KB / SECOND,
             },
-            short_window_rate=8 * MB,
+            short_window_rate=8 * MB / SECOND,
         ),
     )
 
@@ -72,16 +72,16 @@ def web_server(data_capacity: float = 2048 * GB) -> Workload:
     return Workload(
         name="web content server",
         data_capacity=data_capacity,
-        avg_access_rate=40 * MB,
-        avg_update_rate=512 * KB,
+        avg_access_rate=40 * MB / SECOND,
+        avg_update_rate=512 * KB / SECOND,
         burst_multiplier=5.0,
         batch_curve=BatchUpdateCurve(
             {
-                "1 min": 480 * KB,
-                "1 hr": 350 * KB,
-                "24 hr": 200 * KB,
-                "1 wk": 120 * KB,
+                "1 min": 480 * KB / SECOND,
+                "1 hr": 350 * KB / SECOND,
+                "24 hr": 200 * KB / SECOND,
+                "1 wk": 120 * KB / SECOND,
             },
-            short_window_rate=512 * KB,
+            short_window_rate=512 * KB / SECOND,
         ),
     )

@@ -60,7 +60,7 @@ class Workload:
         avg_update_rate: Union[str, float],
         burst_multiplier: float,
         batch_curve: BatchUpdateCurve,
-    ):
+    ) -> None:
         capacity = parse_size(data_capacity)
         access_rate = parse_rate(avg_access_rate)
         update_rate = parse_rate(avg_update_rate)

@@ -19,11 +19,12 @@ column-wise).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List
 
 import numpy as np
 
 from ..exceptions import WorkloadError
-from ..units import DAY, GB, HOUR, KB, MINUTE
+from ..units import DAY, GB, HOUR, KB, MINUTE, SECOND
 from .traces import Trace
 
 
@@ -56,8 +57,8 @@ class SyntheticWorkloadConfig:
 
     data_capacity: float = 64 * GB
     duration: float = 4 * HOUR
-    avg_access_rate: float = 1028 * KB
-    avg_update_rate: float = 799 * KB
+    avg_access_rate: float = 1028 * KB / SECOND
+    avg_update_rate: float = 799 * KB / SECOND
     burst_multiplier: float = 10.0
     hot_fraction: float = 0.02
     hot_weight: float = 0.85
@@ -130,7 +131,7 @@ def _on_off_timestamps(
     if mean_rate_ios <= 0:
         return np.zeros(0)
     duty_cycle = 1.0 / burst_multiplier
-    timestamps = []
+    timestamps: "List[np.ndarray]" = []
     period_start = 0.0
     while period_start < duration:
         local_mean = mean_rate_ios * _diurnal_factor(

@@ -68,7 +68,7 @@ class Trace:
         is_write: Sequence[bool],
         data_capacity: float,
         block_size: int = 8192,
-    ):
+    ) -> None:
         self.timestamps = np.asarray(timestamps, dtype=np.float64)
         self.offsets = np.asarray(offsets, dtype=np.int64)
         self.sizes = np.asarray(sizes, dtype=np.int64)
@@ -210,9 +210,10 @@ class Trace:
                     f"{path}: missing '# data_capacity=... block_size=...' header"
                 )
             try:
-                fields = dict(
-                    item.split("=") for item in header.lstrip("# ").split()
-                )
+                fields: "dict[str, str]" = {}
+                for item in header.lstrip("# ").split():
+                    key, _, value = item.partition("=")
+                    fields[key] = value
                 data_capacity = float(fields["data_capacity"])
                 block_size = int(fields["block_size"])
             except (KeyError, ValueError) as exc:

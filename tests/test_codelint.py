@@ -6,6 +6,7 @@ import pytest
 
 from repro.lint.codelint import (
     BROAD_EXCEPT_PRAGMA,
+    DEFAULT_PATHS,
     RAW_UNIT_PRAGMA,
     count_pragmas,
     lint_paths,
@@ -104,6 +105,28 @@ class TestBroadExcept:
 class TestTreeAndCli:
     def test_repro_tree_is_clean(self):
         assert lint_paths(["src/repro"]) == []
+
+    def test_examples_and_benchmarks_are_clean(self):
+        # The linter's default sweep covers the runnable trees too.
+        assert lint_paths(["examples", "benchmarks"]) == []
+
+    def test_default_paths_cover_all_three_trees(self):
+        assert DEFAULT_PATHS == ("src/", "examples/", "benchmarks/")
+
+    def test_planted_raw_unit_caught_in_every_default_tree(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression guard: a raw 3600 reintroduced in examples/ or
+        # benchmarks/ must fail the same way it does in src/.
+        for tree in DEFAULT_PATHS:
+            package = tmp_path / tree
+            package.mkdir()
+            (package / "planted.py").write_text("duration = 4 * 3600.0\n")
+        monkeypatch.chdir(tmp_path)
+        findings = lint_paths(list(DEFAULT_PATHS))
+        assert codes(findings) == ["UNI001"] * len(DEFAULT_PATHS)
+        flagged = {f.file for f in findings}
+        assert len(flagged) == len(DEFAULT_PATHS)
 
     def test_tree_pragma_budget(self):
         assert count_pragmas(["src/repro"]) <= 5

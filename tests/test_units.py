@@ -176,3 +176,64 @@ class TestFormatting:
             text = formatter(value)
             assert isinstance(text, str) and text
             assert not math.isnan(value)
+
+
+class TestParsingEdgeCases:
+    """Corners of the quantity grammar: signs, whitespace, GB-vs-GiB."""
+
+    def test_negative_quantities(self):
+        # Negative offsets are legal quantities (the *semantic* layers
+        # reject them where they make no sense, with better messages).
+        assert parse_duration("-30 min") == -30 * MINUTE
+        assert parse_size("-1 GB") == -GB
+        assert parse_rate("-8 KB/s") == -8 * KB
+        assert parse_duration(-45.0) == -45.0
+
+    def test_explicit_positive_sign(self):
+        assert parse_duration("+12 hr") == 12 * HOUR
+        assert parse_size("+2 MB") == 2 * MB
+
+    @pytest.mark.parametrize(
+        "text",
+        ["48 h", "48h", " 48 h ", "48  h", "\t48 h\n", "48 H"],
+    )
+    def test_whitespace_and_case_variants_agree(self, text):
+        assert parse_duration(text) == 48 * HOUR
+
+    def test_gb_and_gib_both_mean_binary(self):
+        # The paper's tables use binary prefixes under decimal-looking
+        # names (DESIGN.md section 2); the parser follows suit, so the
+        # IEC spellings are exact synonyms rather than a 7.4% trap.
+        assert parse_size("1 GiB") == parse_size("1 GB") == 2**30
+        assert parse_size("1 MiB") == parse_size("1 MB") == 2**20
+        assert parse_size("1 KiB") == parse_size("1 KB") == 2**10
+        assert parse_size("1 TiB") == parse_size("1 TB") == 2**40
+
+    def test_sign_only_or_empty_raises(self):
+        for text in ("", "-", "+", "GB", "- 1 GB"):
+            with pytest.raises(UnitError):
+                parse_size(text)
+
+    @pytest.mark.parametrize(
+        "value",
+        [1360 * GB, 400 * GB, 8.5 * MB, 727 * KB, 512.0, 6.6 * TB],
+    )
+    def test_size_parse_format_parse_round_trip(self, value):
+        # parse(format(x)) is stable: a second round trip through the
+        # humanizer reproduces the first result exactly.
+        once = parse_size(format_size(value))
+        assert once == pytest.approx(value, rel=0.05)
+        assert parse_size(format_size(once)) == pytest.approx(once, rel=0.05)
+
+    @pytest.mark.parametrize("value", [799 * KB, 12.4 * MB, 1.0 * GB])
+    def test_rate_parse_format_parse_round_trip(self, value):
+        once = parse_rate(format_rate(value))
+        assert once == pytest.approx(value, rel=0.05)
+
+    @pytest.mark.parametrize(
+        "value",
+        [42.0, 90 * MINUTE, 2.4 * HOUR, 217 * HOUR, 12 * DAY],
+    )
+    def test_duration_parse_format_parse_round_trip(self, value):
+        once = parse_duration(format_duration(value))
+        assert once == pytest.approx(value, rel=0.05)
