@@ -44,7 +44,8 @@ from .casestudy import (
     case_study_requirements,
     case_study_scenarios,
 )
-from .core.evaluate import evaluate_scenarios
+from .engine import EngineConfig
+from .engine.sweep import evaluate_design_map, evaluate_scenarios_cached
 from .exceptions import ReproError
 from .lint.diagnostics import exit_code as lint_exit_code
 from .lint.output import FORMATS as LINT_FORMATS
@@ -79,15 +80,35 @@ from .serialization import (
 from .workload.presets import cello
 
 
+def _engine_config(args: argparse.Namespace) -> "Optional[EngineConfig]":
+    """Build an engine config from ``--workers``/``--cache-dir``.
+
+    None (= the engine's serial, uncached default) when neither flag
+    was given, so default CLI runs stay on the historical code path.
+    """
+    workers = getattr(args, "workers", None) or 1
+    cache_dir = getattr(args, "cache_dir", None)
+    if workers <= 1 and cache_dir is None:
+        return None
+    return EngineConfig(
+        workers=workers,
+        cache_dir=cache_dir,
+        memory_cache_entries=256 if cache_dir is not None else 0,
+    )
+
+
 def _cmd_case_study(args: argparse.Namespace) -> int:
     """Print the paper's Tables 5, 6 and the Figure 5 breakdown."""
     workload = cello()
     requirements = case_study_requirements()
     scenarios = case_study_scenarios()
     designs = all_table7_designs()
+    config = _engine_config(args)
 
     baseline = designs["baseline"]
-    results = evaluate_scenarios(baseline, workload, scenarios, requirements)
+    results = evaluate_scenarios_cached(
+        baseline, workload, scenarios, requirements, config=config
+    )
     first = next(iter(results.values()))
     print(baseline.render_hierarchy())
     print()
@@ -99,12 +120,16 @@ def _cmd_case_study(args: argparse.Namespace) -> int:
     print()
 
     hardware = [s for s in scenarios if s.scope.is_hardware]
+    outcomes = evaluate_design_map(
+        designs, workload, hardware, requirements, config=config
+    )
     grid = {}
     labels: "List[str]" = []
-    for name, design in designs.items():
-        assessments = evaluate_scenarios(design, workload, hardware, requirements)
-        grid[name] = assessments
-        labels = list(assessments.keys())
+    for name, outcome in outcomes.items():
+        if outcome.error is not None:
+            raise outcome.error
+        grid[name] = outcome.value
+        labels = list(outcome.value.keys())
     print(whatif_report(grid, labels, title="Table 7: what-if scenarios"))
     if getattr(args, "trace", False):
         print()
@@ -125,7 +150,9 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     else:
         requirements = case_study_requirements()
 
-    results = evaluate_scenarios(design, workload, scenarios, requirements)
+    results = evaluate_scenarios_cached(
+        design, workload, scenarios, requirements, config=_engine_config(args)
+    )
     first = next(iter(results.values()))
     print(design.render_hierarchy())
     print()
@@ -208,7 +235,10 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         )
 
     candidates = candidate_designs(DesignSpace())
-    outcome = optimize(candidates, workload, scenarios, requirements)
+    outcome = optimize(
+        candidates, workload, scenarios, requirements,
+        config=_engine_config(args),
+    )
     print(outcome.summary())
     print()
     table = Table(
@@ -341,6 +371,25 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    """The evaluation-engine flags of the evaluating subcommands."""
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate designs on N worker processes (default: 1, inline; "
+        "results are identical either way)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        default=None,
+        help="cache evaluation results under PATH (content-addressed; "
+        "reused across runs until the model changes)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for doc generation and tests)."""
     parser = argparse.ArgumentParser(
@@ -352,11 +401,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     case = sub.add_parser("case-study", help="reproduce the paper's case study")
     _add_obs_flags(case)
+    _add_engine_flags(case)
     case.set_defaults(func=_cmd_case_study)
 
     ev = sub.add_parser("evaluate", help="evaluate a JSON spec file")
     ev.add_argument("spec", help="path to the JSON spec")
     _add_obs_flags(ev)
+    _add_engine_flags(ev)
     ev.set_defaults(func=_cmd_evaluate)
 
     lint = sub.add_parser(
@@ -404,6 +455,7 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--rto", default=None, help='recovery time objective, e.g. "4 hr"')
     opt.add_argument("--rpo", default=None, help='recovery point objective, e.g. "1 hr"')
     _add_obs_flags(opt)
+    _add_engine_flags(opt)
     opt.set_defaults(func=_cmd_optimize)
 
     bench = sub.add_parser(

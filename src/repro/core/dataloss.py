@@ -45,20 +45,37 @@ class LevelRange:
 
 @dataclass(frozen=True)
 class DataLossResult:
-    """Worst-case recent data loss and the level that bounds it."""
+    """Worst-case recent data loss and the level that bounds it.
+
+    ``source_index`` and ``source_technique`` mirror the source level's
+    identity as plain values; they are filled automatically from
+    ``source_level`` and survive serialization (a result restored from
+    the engine's cache has ``source_level=None`` but keeps both).
+    """
 
     source_level: Optional[Level]
     data_loss: float
     total_loss: bool
     target_age: float
     ranges: Tuple[LevelRange, ...]
+    source_index: Optional[int] = None
+    source_technique: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.source_level is not None:
+            if self.source_index is None:
+                object.__setattr__(self, "source_index", self.source_level.index)
+            if self.source_technique is None:
+                object.__setattr__(
+                    self, "source_technique", self.source_level.technique.name
+                )
 
     @property
     def source_name(self) -> str:
         """The recovery source technique's name ("split mirror", ...)."""
-        if self.source_level is None:
+        if self.source_technique is None:
             return "(unrecoverable)"
-        return self.source_level.technique.name
+        return self.source_technique
 
 
 def level_range(design: StorageDesign, level: Level) -> LevelRange:

@@ -17,12 +17,14 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.hierarchy import StorageDesign
-from ..exceptions import OptimizationError, ReproError
+from ..engine import EngineConfig, ResultCache
+from ..engine.sweep import evaluate_design_map
+from ..exceptions import OptimizationError
 from ..obs import get_metrics, get_tracer
 from ..scenarios.failures import FailureScenario
 from ..scenarios.requirements import BusinessRequirements
 from ..workload.spec import Workload
-from .whatif import WhatIfResult, run_whatif
+from .whatif import WhatIfResult
 
 
 @dataclass(frozen=True)
@@ -77,8 +79,18 @@ def optimize(
     workload: Workload,
     scenarios: Sequence[FailureScenario],
     requirements: BusinessRequirements,
+    config: Optional[EngineConfig] = None,
+    cache: Optional[ResultCache] = None,
 ) -> OptimizationOutcome:
     """Rank candidates by worst-case total cost; pick the best feasible.
+
+    Candidates are evaluated through :mod:`repro.engine` — pass a
+    ``config`` with ``workers > 1`` or a cache directory to parallelize
+    or cache the sweep; the ranking is identical either way.  A
+    candidate that cannot be evaluated (a modeling error, a worker
+    crash after retries, a timeout) lands in ``skipped`` with the error
+    text.  Equal-cost candidates rank alphabetically, so the winner is
+    deterministic regardless of mapping order.
 
     Raises :class:`~repro.exceptions.OptimizationError` only when *no*
     candidate could even be evaluated.
@@ -88,23 +100,17 @@ def optimize(
     evaluated: "List[RankedDesign]" = []
     skipped: "Dict[str, str]" = {}
     with tracer.span("optimizer.optimize", candidates=len(candidates)) as span:
-        for name, factory in candidates.items():
-            metrics.inc("optimizer.candidates")
-            with tracer.span("optimizer.candidate", name=name) as candidate_span:
-                try:
-                    results = run_whatif(
-                        {name: factory}, workload, scenarios, requirements
-                    )
-                except ReproError as exc:
-                    metrics.inc("optimizer.designs_pruned")
-                    candidate_span.set(pruned=str(exc))
-                    skipped[name] = str(exc)
-                    continue
-                result = results[0]
-                candidate_span.set(
-                    feasible=result.meets_objectives,
-                    objective=result.worst_total_cost,
-                )
+        metrics.inc("optimizer.candidates", len(candidates))
+        outcomes = evaluate_design_map(
+            candidates, workload, scenarios, requirements,
+            config=config, cache=cache,
+        )
+        for name, outcome in outcomes.items():
+            if outcome.error is not None:
+                metrics.inc("optimizer.designs_pruned")
+                skipped[name] = str(outcome.error)
+                continue
+            result = WhatIfResult(design_name=name, assessments=outcome.value)
             evaluated.append(
                 RankedDesign(result=result, feasible=result.meets_objectives)
             )
@@ -113,7 +119,12 @@ def optimize(
                 "no candidate design could be evaluated: "
                 + "; ".join(f"{k}: {v}" for k, v in skipped.items())
             )
-        ranking = tuple(sorted(evaluated, key=lambda entry: entry.objective))
+        # Tie-break on the name: equal-cost candidates used to keep
+        # mapping order, which made the winner depend on insertion
+        # order of the candidate dict.
+        ranking = tuple(
+            sorted(evaluated, key=lambda entry: (entry.objective, entry.name))
+        )
         feasible = [entry for entry in ranking if entry.feasible]
         metrics.inc("optimizer.feasible", len(feasible))
         span.set(evaluated=len(evaluated), pruned=len(skipped), feasible=len(feasible))

@@ -13,11 +13,13 @@ point.  These back the ablation benches called out in DESIGN.md:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from .. import casestudy
-from ..core.evaluate import evaluate
 from ..core.hierarchy import StorageDesign
+from ..core.results import Assessment
+from ..engine import EngineConfig
+from ..engine.sweep import evaluate_design_map
 from ..obs import get_metrics, get_tracer
 from ..scenarios.failures import FailureScenario
 from ..scenarios.requirements import BusinessRequirements
@@ -36,18 +38,7 @@ class SweepPoint:
     total_cost: float
 
 
-def _assess_point(
-    design: StorageDesign,
-    parameter: float,
-    workload: Workload,
-    scenario: FailureScenario,
-    requirements: BusinessRequirements,
-) -> SweepPoint:
-    get_metrics().inc("sensitivity.points")
-    with get_tracer().span(
-        "sensitivity.point", design=design.name, parameter=parameter
-    ):
-        assessment = evaluate(design, workload, scenario, requirements)
+def _as_point(parameter: float, assessment: Assessment) -> SweepPoint:
     return SweepPoint(
         parameter=parameter,
         system_utilization=assessment.system_utilization,
@@ -57,12 +48,40 @@ def _assess_point(
     )
 
 
+def _sweep(
+    samples: "Sequence[Tuple[float, StorageDesign]]",
+    workload: Workload,
+    scenario: FailureScenario,
+    requirements: BusinessRequirements,
+    config: "Optional[EngineConfig]",
+) -> "List[SweepPoint]":
+    """Run ``(parameter, design)`` samples through the engine, in order."""
+    metrics = get_metrics()
+    with get_tracer().span("sensitivity.sweep", points=len(samples)):
+        metrics.inc("sensitivity.points", len(samples))
+        designs = {
+            f"{index}:{design.name}": design
+            for index, (_, design) in enumerate(samples)
+        }
+        outcomes = evaluate_design_map(
+            designs, workload, [scenario], requirements, config=config
+        )
+        points: "List[SweepPoint]" = []
+        for (parameter, _), outcome in zip(samples, outcomes.values()):
+            if outcome.error is not None:
+                raise outcome.error
+            assessment = next(iter(outcome.value.values()))
+            points.append(_as_point(parameter, assessment))
+        return points
+
+
 def sweep_accumulation_window(
     windows: Sequence[Union[str, float]],
     workload: Workload,
     scenario: FailureScenario,
     requirements: BusinessRequirements,
     design_factory: Callable[[Union[str, float]], StorageDesign] = None,
+    config: Optional[EngineConfig] = None,
 ) -> "List[SweepPoint]":
     """Sweep a batched-async mirror's accumulation window.
 
@@ -96,15 +115,10 @@ def sweep_accumulation_window(
             )
             return design
 
-    points: "List[SweepPoint]" = []
-    for window in windows:
-        design = design_factory(window)
-        points.append(
-            _assess_point(
-                design, parse_duration(window), workload, scenario, requirements
-            )
-        )
-    return points
+    samples = [
+        (parse_duration(window), design_factory(window)) for window in windows
+    ]
+    return _sweep(samples, workload, scenario, requirements, config)
 
 
 def sweep_link_count(
@@ -112,12 +126,11 @@ def sweep_link_count(
     workload: Workload,
     scenario: FailureScenario,
     requirements: BusinessRequirements,
+    config: Optional[EngineConfig] = None,
 ) -> "List[SweepPoint]":
     """Sweep the WAN link provisioning of the asyncB mirror design."""
-    points: "List[SweepPoint]" = []
-    for count in link_counts:
-        design = casestudy.async_batch_mirror_design(count)
-        points.append(
-            _assess_point(design, float(count), workload, scenario, requirements)
-        )
-    return points
+    samples = [
+        (float(count), casestudy.async_batch_mirror_design(count))
+        for count in link_counts
+    ]
+    return _sweep(samples, workload, scenario, requirements, config)

@@ -3,16 +3,23 @@
 This is the engine behind the paper's Table 7: evaluate every candidate
 design against every scenario, collect the per-cell assessments, and
 expose convenient worst-case/aggregate views for ranking.
+
+Evaluation runs through :mod:`repro.engine`, so a what-if grid can be
+parallelized and cached by passing an
+:class:`~repro.engine.EngineConfig`; the default config is serial and
+uncached, producing bit-identical results to evaluating each design in
+a loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
-from ..core.evaluate import evaluate_scenarios
 from ..core.hierarchy import StorageDesign
 from ..core.results import Assessment
+from ..engine import EngineConfig, ResultCache
+from ..engine.sweep import evaluate_design_map
 from ..scenarios.failures import FailureScenario
 from ..scenarios.requirements import BusinessRequirements
 from ..workload.spec import Workload
@@ -68,15 +75,26 @@ def run_whatif(
     workload: Workload,
     scenarios: Sequence[FailureScenario],
     requirements: BusinessRequirements,
+    config: Optional[EngineConfig] = None,
+    cache: Optional[ResultCache] = None,
 ) -> "List[WhatIfResult]":
     """Evaluate every design against every scenario (Table 7's grid).
 
     ``designs`` maps display names to zero-argument factories.  Results
-    preserve input order.
+    preserve input order.  A design that cannot be evaluated raises its
+    underlying :class:`~repro.exceptions.ReproError` (first failure in
+    input order), matching the historical serial behavior; callers that
+    want per-design failure reporting use the optimizer or
+    :func:`repro.engine.sweep.evaluate_design_map` directly.
     """
+    outcomes = evaluate_design_map(
+        designs, workload, scenarios, requirements, config=config, cache=cache
+    )
     results: "List[WhatIfResult]" = []
-    for name, factory in designs.items():
-        design = factory()
-        assessments = evaluate_scenarios(design, workload, scenarios, requirements)
-        results.append(WhatIfResult(design_name=name, assessments=assessments))
+    for name, outcome in outcomes.items():
+        if outcome.error is not None:
+            raise outcome.error
+        results.append(
+            WhatIfResult(design_name=name, assessments=outcome.value)
+        )
     return results

@@ -1,0 +1,118 @@
+"""High-level sweep helpers on top of :func:`map_evaluations`.
+
+The design-automation layers all share one shape of work — "evaluate
+each of these designs against these scenarios" — differing only in how
+the designs are named and what they do with the outcomes.  These
+helpers capture that shape once so ``optimize``, ``run_whatif``, the
+sensitivity sweeps and the CLI stay thin.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union,
+)
+
+from ..core.hierarchy import StorageDesign
+from ..core.results import Assessment
+from ..scenarios.failures import FailureScenario
+from ..scenarios.requirements import BusinessRequirements
+from ..workload.spec import Workload
+from .cache import ResultCache
+from .executor import EngineConfig, EvaluationTask, TaskOutcome, map_evaluations
+
+#: Designs arrive either built or as zero-argument factories.
+DesignOrFactory = Union[StorageDesign, Callable[[], StorageDesign]]
+
+
+def _as_task(
+    name: str,
+    design: DesignOrFactory,
+    workload: Workload,
+    scenarios: "Tuple[FailureScenario, ...]",
+    requirements: BusinessRequirements,
+    strict_utilization: bool,
+) -> EvaluationTask:
+    if isinstance(design, StorageDesign):
+        return EvaluationTask(
+            name=name,
+            workload=workload,
+            scenarios=scenarios,
+            requirements=requirements,
+            design=design,
+            strict_utilization=strict_utilization,
+        )
+    return EvaluationTask(
+        name=name,
+        workload=workload,
+        scenarios=scenarios,
+        requirements=requirements,
+        factory=design,
+        strict_utilization=strict_utilization,
+    )
+
+
+def evaluate_design_map(
+    designs: "Mapping[str, DesignOrFactory]",
+    workload: Workload,
+    scenarios: "Iterable[FailureScenario]",
+    requirements: BusinessRequirements,
+    config: Optional[EngineConfig] = None,
+    cache: Optional[ResultCache] = None,
+    strict_utilization: bool = True,
+) -> "Dict[str, TaskOutcome]":
+    """Evaluate every named design against every scenario.
+
+    Returns ``{name: outcome}`` in the mapping's iteration order; a
+    successful outcome's ``value`` is the ``{scenario: Assessment}``
+    dict of :func:`repro.core.evaluate.evaluate_scenarios`.
+    """
+    scenario_tuple = tuple(scenarios)
+    tasks = [
+        _as_task(
+            name, design, workload, scenario_tuple, requirements, strict_utilization
+        )
+        for name, design in designs.items()
+    ]
+    outcomes = map_evaluations(tasks, config=config, cache=cache)
+    return {outcome.name: outcome for outcome in outcomes}
+
+
+def evaluate_scenarios_cached(
+    design: DesignOrFactory,
+    workload: Workload,
+    scenarios: "Iterable[FailureScenario]",
+    requirements: BusinessRequirements,
+    config: Optional[EngineConfig] = None,
+    cache: Optional[ResultCache] = None,
+    strict_utilization: bool = True,
+) -> "Dict[str, Assessment]":
+    """Single-design evaluation through the engine (the CLI path).
+
+    Cache-aware like the sweep form, but raises the underlying error on
+    failure — callers evaluating one design want the exception, not an
+    outcome to inspect.
+    """
+    name = design.name if isinstance(design, StorageDesign) else "design"
+    outcomes = evaluate_design_map(
+        {name: design},
+        workload,
+        scenarios,
+        requirements,
+        config=config,
+        cache=cache,
+        strict_utilization=strict_utilization,
+    )
+    outcome = outcomes[name]
+    if outcome.error is not None:
+        raise outcome.error
+    value: "Dict[str, Any]" = outcome.value
+    return value

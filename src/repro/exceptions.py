@@ -43,6 +43,12 @@ class CapacityExceededError(DeviceError):
             f"{utilization:.1%}, which exceeds 100%"
         )
 
+    def __reduce__(self):
+        # ``args`` holds the formatted message, not the constructor
+        # arguments, so the default reduction cannot rebuild this class
+        # (engine workers ship these across process boundaries).
+        return (type(self), (self.device_name, self.utilization))
+
 
 class BandwidthExceededError(DeviceError):
     """The bandwidth demands registered on a device exceed its maximum.
@@ -58,6 +64,9 @@ class BandwidthExceededError(DeviceError):
             f"bandwidth utilization of device {device_name!r} is "
             f"{utilization:.1%}, which exceeds 100%"
         )
+
+    def __reduce__(self):
+        return (type(self), (self.device_name, self.utilization))
 
 
 class PolicyError(ReproError, ValueError):
@@ -104,3 +113,22 @@ class SimulationError(ReproError, RuntimeError):
 
 class OptimizationError(ReproError, RuntimeError):
     """The design optimizer could not produce a feasible design."""
+
+
+class EngineError(ReproError, RuntimeError):
+    """The evaluation engine failed outside any single task.
+
+    Task-level failures (a candidate that cannot be evaluated) are
+    reported per task; this error covers engine-level problems such as
+    an unusable cache directory.
+    """
+
+
+class CacheKeyError(EngineError):
+    """A task's inputs cannot be reduced to a canonical cache key.
+
+    Raised by :func:`repro.engine.keys.fingerprint` when the object
+    graph contains something with no deterministic serialization (an
+    open file, a lambda, an unknown extension type).  The engine treats
+    such tasks as uncacheable rather than failing the sweep.
+    """

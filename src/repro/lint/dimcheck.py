@@ -240,6 +240,9 @@ ATTRIBUTE_DIMS: "Dict[str, Dimension]" = {
     "burst_period": TIME,
     "diurnal_period": TIME,
     "availability_delay": TIME,
+    # engine knobs (wall-clock seconds)
+    "task_timeout": TIME,
+    "retry_backoff": TIME,
     # money rates ($/s) vs money amounts ($)
     "unavailability_penalty_rate": MONEY_RATE,
     "loss_penalty_rate": MONEY_RATE,
@@ -317,6 +320,9 @@ PARAM_NAME_DIMS: "Dict[str, Dimension]" = {
     "bytes_per_sec": RATE,
     "bandwidth_bps": RATE,
     "dollars": MONEY,
+    "task_timeout": TIME,
+    "retry_backoff": TIME,
+    "backoff": TIME,
 }
 
 _PASSTHROUGH_BUILTINS = ("float", "int", "abs", "round")

@@ -153,11 +153,15 @@ def _explain_data_loss(assessment, provenance) -> str:
             "data loss = total: no surviving level retains an RP usable "
             f"for a recovery target {format_duration(loss.target_age)} old"
         )
-    source = loss.source_level
+    # The index survives serialization even when the live Level doesn't,
+    # so cache-restored assessments explain identically.
+    source_index = getattr(loss, "source_index", None)
+    if source_index is None and loss.source_level is not None:
+        source_index = loss.source_level.index
     detail = ""
-    if source is not None:
+    if source_index is not None:
         for rng in loss.ranges:
-            if rng.level_index == source.index:
+            if rng.level_index == source_index:
                 detail = (
                     f"; its guaranteed RPs span ages "
                     f"{format_duration(rng.newest_age)} to "
@@ -167,7 +171,7 @@ def _explain_data_loss(assessment, provenance) -> str:
     return (
         f"data loss = {format_duration(loss.data_loss)}: recovered from "
         f"{loss.source_name}"
-        + (f" (level {source.index})" if source is not None else "")
+        + (f" (level {source_index})" if source_index is not None else "")
         + detail
     )
 

@@ -30,8 +30,9 @@ single flag away (``serialize_recoveries=True``).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .core.dataloss import DataLossResult, compute_data_loss
 from .core.demands import register_design_demands
@@ -280,6 +281,48 @@ class Portfolio:
             outage_penalty=outage_penalty,
             loss_penalty=loss_penalty,
         )
+
+    def evaluate_scenarios(
+        self,
+        scenarios: "Iterable[FailureScenario]",
+        requirements: BusinessRequirements,
+        strict_utilization: bool = True,
+        config: "Optional[Any]" = None,
+    ) -> "Dict[str, PortfolioAssessment]":
+        """Assess the portfolio under each scenario, through the engine.
+
+        Returns ``{scenario description: assessment}`` in input order.
+        Portfolio tasks run inline in the parent (they share live
+        device state), but routing them through
+        :func:`repro.engine.map_evaluations` gives them the engine's
+        result caching and uniform failure reporting; ``config`` is an
+        :class:`repro.engine.EngineConfig` (imported lazily — the model
+        layer never depends on the engine at import time).
+        """
+        from .engine import EngineConfig, PortfolioTask, map_evaluations
+
+        tasks = [
+            PortfolioTask(
+                name=scenario.describe(),
+                portfolio=self,
+                scenario=scenario,
+                requirements=requirements,
+                strict_utilization=strict_utilization,
+            )
+            for scenario in scenarios
+        ]
+        engine_config = config if config is not None else EngineConfig()
+        # Portfolios aggregate live device objects: force inline
+        # execution so shared state stays in this process.
+        if engine_config.workers > 1:
+            engine_config = dataclasses.replace(engine_config, workers=1)
+        outcomes = map_evaluations(tasks, config=engine_config)
+        results: "Dict[str, PortfolioAssessment]" = {}
+        for outcome in outcomes:
+            if outcome.error is not None:
+                raise outcome.error
+            results[outcome.name] = outcome.value
+        return results
 
     def evaluate_contended(
         self,

@@ -23,10 +23,17 @@ silently fall back to a default.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping, Optional
+import json
+from typing import Any, Callable, Dict, List, Mapping, Optional
 
 from .casestudy import all_table7_designs
+from .core.cost import CostBreakdown
+from .core.dataloss import DataLossResult, LevelRange
 from .core.hierarchy import StorageDesign
+from .core.recovery import RecoveryPlan, RecoveryStep
+from .core.results import Assessment
+from .core.utilization import SystemUtilization
+from .devices.base import DeviceUtilization, TechniqueUtilization
 from .obs.provenance import EvaluationProvenance
 from .devices import catalog as device_catalog
 from .devices.base import Device
@@ -518,3 +525,292 @@ def provenance_from_spec(spec: Mapping[str, Any]) -> EvaluationProvenance:
     (with extra fields) must still load on this one.
     """
     return EvaluationProvenance.from_dict(spec)
+
+
+# ---------------------------------------------------------------------------
+# Canonical JSON.
+# ---------------------------------------------------------------------------
+
+
+def canonical_json(obj: Any) -> str:
+    """The canonical JSON text of a JSON-able value.
+
+    Keys are sorted and no whitespace is emitted, so two structurally
+    equal values always yield byte-identical text — the property the
+    engine's content-addressed cache keys rely on.  Non-finite floats
+    are emitted in Python's ``Infinity``/``NaN`` extension (the text is
+    hashed and re-read by this package, never by a strict parser).
+    Non-JSON objects raise ``TypeError`` rather than being coerced.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+
+
+# ---------------------------------------------------------------------------
+# Assessment records: full round-trip of evaluation *outputs*.
+#
+# Spec parsing above is strict (a typo must raise); these are output
+# records like provenance, so loading tolerates exactly the shapes this
+# version writes.  The engine's persistent result cache stores these.
+# ---------------------------------------------------------------------------
+
+
+def location_to_dict(location: Location) -> "Dict[str, Any]":
+    """A location as the same dictionary shape the spec parser accepts."""
+    return {
+        "region": location.region,
+        "site": location.site,
+        "building": location.building,
+    }
+
+
+def scenario_to_dict(scenario: FailureScenario) -> "Dict[str, Any]":
+    """A failure scenario as a plain dictionary (base units)."""
+    return {
+        "scope": scenario.scope.value,
+        "failed_device": scenario.failed_device,
+        "failed_location": (
+            None
+            if scenario.failed_location is None
+            else location_to_dict(scenario.failed_location)
+        ),
+        "recovery_target_age": scenario.recovery_target_age,
+        "object_size": scenario.object_size,
+    }
+
+
+def scenario_from_dict(data: Mapping[str, Any]) -> FailureScenario:
+    """Rebuild a scenario from :func:`scenario_to_dict` output."""
+    return FailureScenario(
+        scope=FailureScope(data["scope"]),
+        failed_device=data.get("failed_device"),
+        failed_location=_location_from_spec(data.get("failed_location")),
+        recovery_target_age=data.get("recovery_target_age", 0.0),
+        object_size=data.get("object_size"),
+    )
+
+
+def requirements_to_dict(requirements: BusinessRequirements) -> "Dict[str, Any]":
+    """Business requirements with rates in base units ($/second)."""
+    return {
+        "unavailability_penalty_rate": requirements.unavailability_penalty_rate,
+        "loss_penalty_rate": requirements.loss_penalty_rate,
+        "rto": requirements.rto,
+        "rpo": requirements.rpo,
+    }
+
+
+def requirements_from_dict(data: Mapping[str, Any]) -> BusinessRequirements:
+    """Rebuild requirements from :func:`requirements_to_dict` output."""
+    return BusinessRequirements(
+        unavailability_penalty_rate=data["unavailability_penalty_rate"],
+        loss_penalty_rate=data["loss_penalty_rate"],
+        rto=data.get("rto"),
+        rpo=data.get("rpo"),
+    )
+
+
+def utilization_to_dict(utilization: SystemUtilization) -> "Dict[str, Any]":
+    """The full utilization picture, per-device reports included."""
+    return {
+        "devices": [
+            {
+                "device_name": report.device_name,
+                "bandwidth_demand": report.bandwidth_demand,
+                "bandwidth_utilization": report.bandwidth_utilization,
+                "capacity_demand_raw": report.capacity_demand_raw,
+                "capacity_demand_logical": report.capacity_demand_logical,
+                "capacity_utilization": report.capacity_utilization,
+                "by_technique": [
+                    {
+                        "technique": share.technique,
+                        "bandwidth": share.bandwidth,
+                        "bandwidth_utilization": share.bandwidth_utilization,
+                        "capacity": share.capacity,
+                        "capacity_utilization": share.capacity_utilization,
+                    }
+                    for share in report.by_technique
+                ],
+            }
+            for report in utilization.devices
+        ],
+        "max_capacity_utilization": utilization.max_capacity_utilization,
+        "max_capacity_device": utilization.max_capacity_device,
+        "max_bandwidth_utilization": utilization.max_bandwidth_utilization,
+        "max_bandwidth_device": utilization.max_bandwidth_device,
+    }
+
+
+def utilization_from_dict(data: Mapping[str, Any]) -> SystemUtilization:
+    """Rebuild utilization from :func:`utilization_to_dict` output."""
+    return SystemUtilization(
+        devices=tuple(
+            DeviceUtilization(
+                device_name=report["device_name"],
+                bandwidth_demand=report["bandwidth_demand"],
+                bandwidth_utilization=report["bandwidth_utilization"],
+                capacity_demand_raw=report["capacity_demand_raw"],
+                capacity_demand_logical=report["capacity_demand_logical"],
+                capacity_utilization=report["capacity_utilization"],
+                by_technique=tuple(
+                    TechniqueUtilization(
+                        technique=share["technique"],
+                        bandwidth=share["bandwidth"],
+                        bandwidth_utilization=share["bandwidth_utilization"],
+                        capacity=share["capacity"],
+                        capacity_utilization=share["capacity_utilization"],
+                    )
+                    for share in report.get("by_technique", ())
+                ),
+            )
+            for report in data["devices"]
+        ),
+        max_capacity_utilization=data["max_capacity_utilization"],
+        max_capacity_device=data.get("max_capacity_device"),
+        max_bandwidth_utilization=data["max_bandwidth_utilization"],
+        max_bandwidth_device=data.get("max_bandwidth_device"),
+    )
+
+
+def data_loss_to_dict(loss: DataLossResult) -> "Dict[str, Any]":
+    """A data-loss result with the source level flattened to its identity."""
+    return {
+        "source_index": loss.source_index,
+        "source_technique": loss.source_technique,
+        "data_loss": loss.data_loss,
+        "total_loss": loss.total_loss,
+        "target_age": loss.target_age,
+        "ranges": [
+            {
+                "level_index": rng.level_index,
+                "technique_name": rng.technique_name,
+                "newest_age": rng.newest_age,
+                "oldest_age": rng.oldest_age,
+            }
+            for rng in loss.ranges
+        ],
+    }
+
+
+def data_loss_from_dict(data: Mapping[str, Any]) -> DataLossResult:
+    """Rebuild a data-loss result (``source_level`` itself is not
+    restorable — the identity fields carry its name and index)."""
+    return DataLossResult(
+        source_level=None,
+        data_loss=data["data_loss"],
+        total_loss=data["total_loss"],
+        target_age=data["target_age"],
+        ranges=tuple(
+            LevelRange(
+                level_index=rng["level_index"],
+                technique_name=rng["technique_name"],
+                newest_age=rng["newest_age"],
+                oldest_age=rng["oldest_age"],
+            )
+            for rng in data.get("ranges", ())
+        ),
+        source_index=data.get("source_index"),
+        source_technique=data.get("source_technique"),
+    )
+
+
+def recovery_plan_to_dict(plan: RecoveryPlan) -> "Dict[str, Any]":
+    """A recovery plan, steps and all (enough to re-render Figure 4)."""
+    return {
+        "source_level_index": plan.source_level_index,
+        "source_name": plan.source_name,
+        "recovery_size": plan.recovery_size,
+        "recovery_time": plan.recovery_time,
+        "steps": [
+            {
+                "label": step.label,
+                "kind": step.kind,
+                "start": step.start,
+                "end": step.end,
+                "devices": list(step.devices),
+            }
+            for step in plan.steps
+        ],
+    }
+
+
+def recovery_plan_from_dict(data: Mapping[str, Any]) -> RecoveryPlan:
+    """Rebuild a recovery plan from :func:`recovery_plan_to_dict` output."""
+    return RecoveryPlan(
+        source_level_index=data["source_level_index"],
+        source_name=data["source_name"],
+        recovery_size=data["recovery_size"],
+        steps=tuple(
+            RecoveryStep(
+                label=step["label"],
+                kind=step["kind"],
+                start=step["start"],
+                end=step["end"],
+                devices=tuple(step.get("devices", ())),
+            )
+            for step in data.get("steps", ())
+        ),
+        recovery_time=data["recovery_time"],
+    )
+
+
+def cost_breakdown_to_dict(costs: CostBreakdown) -> "Dict[str, Any]":
+    """Outlays by technique plus the penalty terms."""
+    return {
+        "outlays_by_technique": dict(costs.outlays_by_technique),
+        "outage_penalty": costs.outage_penalty,
+        "loss_penalty": costs.loss_penalty,
+    }
+
+
+def cost_breakdown_from_dict(data: Mapping[str, Any]) -> CostBreakdown:
+    """Rebuild a cost breakdown from :func:`cost_breakdown_to_dict` output."""
+    return CostBreakdown(
+        outlays_by_technique=dict(data["outlays_by_technique"]),
+        outage_penalty=data["outage_penalty"],
+        loss_penalty=data["loss_penalty"],
+    )
+
+
+def assessment_to_dict(assessment: Assessment) -> "Dict[str, Any]":
+    """One full assessment as a JSON-friendly dictionary.
+
+    Everything reports and rankings read — the four output metrics, the
+    per-device utilization rows, the recovery timeline, the cost
+    breakdown and the provenance record — survives the round trip.
+    """
+    return {
+        "design_name": assessment.design_name,
+        "scenario": scenario_to_dict(assessment.scenario),
+        "requirements": requirements_to_dict(assessment.requirements),
+        "utilization": utilization_to_dict(assessment.utilization),
+        "data_loss": data_loss_to_dict(assessment.data_loss),
+        "recovery": (
+            None
+            if assessment.recovery is None
+            else recovery_plan_to_dict(assessment.recovery)
+        ),
+        "costs": cost_breakdown_to_dict(assessment.costs),
+        "provenance": (
+            None
+            if assessment.provenance is None
+            else assessment.provenance.to_dict()
+        ),
+    }
+
+
+def assessment_from_dict(data: Mapping[str, Any]) -> Assessment:
+    """Rebuild an assessment from :func:`assessment_to_dict` output."""
+    provenance = data.get("provenance")
+    recovery = data.get("recovery")
+    return Assessment(
+        design_name=data["design_name"],
+        scenario=scenario_from_dict(data["scenario"]),
+        requirements=requirements_from_dict(data["requirements"]),
+        utilization=utilization_from_dict(data["utilization"]),
+        data_loss=data_loss_from_dict(data["data_loss"]),
+        recovery=None if recovery is None else recovery_plan_from_dict(recovery),
+        costs=cost_breakdown_from_dict(data["costs"]),
+        provenance=(
+            None if provenance is None else EvaluationProvenance.from_dict(provenance)
+        ),
+    )

@@ -227,3 +227,47 @@ class TestObservabilityFlags:
         out = capsys.readouterr().out
         assert "Span profile" in out
         assert "Trace (per-phase timings)" not in out
+
+
+class TestEngineFlags:
+    def test_optimize_parallel_output_matches_serial(self, capsys):
+        code = main(["optimize"])
+        serial = capsys.readouterr().out
+        assert main(["optimize", "--workers", "2"]) == code
+        assert capsys.readouterr().out == serial
+
+    def test_optimize_cache_dir_second_run_identical(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["optimize", "--cache-dir", cache_dir])
+        first = capsys.readouterr().out
+        main(["optimize", "--cache-dir", cache_dir])
+        second = capsys.readouterr().out
+        assert first == second
+        assert (tmp_path / "cache" / "results.jsonl").exists()
+
+    def test_optimize_cache_hits_reported_in_metrics(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        main(["optimize", "--cache-dir", cache_dir])
+        capsys.readouterr()
+        main(["optimize", "--cache-dir", cache_dir, "--metrics"])
+        out = capsys.readouterr().out
+        assert "engine.cache.hits" in out
+
+    def test_evaluate_with_cache_dir(self, tmp_path, capsys):
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({
+            "workload": "cello",
+            "design": "baseline",
+            "scenarios": ["object", "array", "site"],
+        }))
+        cache_dir = str(tmp_path / "cache")
+        main(["evaluate", str(spec), "--cache-dir", cache_dir])
+        first = capsys.readouterr().out
+        main(["evaluate", str(spec), "--cache-dir", cache_dir])
+        assert capsys.readouterr().out == first
+
+    def test_case_study_workers_output_identical(self, capsys):
+        assert main(["case-study", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert main(["case-study"]) == 0
+        assert capsys.readouterr().out == parallel

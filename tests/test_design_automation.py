@@ -202,6 +202,25 @@ class TestOptimizer:
         with pytest.raises(OptimizationError):
             optimize({}, workload, scenarios, requirements)
 
+    def test_equal_cost_candidates_rank_alphabetically(
+        self, workload, scenarios, requirements
+    ):
+        """Regression: equal-objective candidates used to keep dict
+        insertion order, so the reported winner depended on how the
+        caller happened to build the candidate mapping."""
+        factory = casestudy.baseline_design
+        forward = optimize(
+            {"alpha": factory, "beta": factory},
+            workload, scenarios, requirements,
+        )
+        backward = optimize(
+            {"beta": factory, "alpha": factory},
+            workload, scenarios, requirements,
+        )
+        assert [e.name for e in forward.ranking] == ["alpha", "beta"]
+        assert [e.name for e in backward.ranking] == ["alpha", "beta"]
+        assert forward.best.name == backward.best.name
+
 
 class TestSweeps:
     def test_window_sweep_trades_loss_for_link_demand(

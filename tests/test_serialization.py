@@ -351,3 +351,61 @@ class TestProvenanceSpecs:
         restored = provenance_from_spec(spec)
         assert isinstance(restored.validation_warnings, tuple)
         assert isinstance(restored.decisions, tuple)
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_no_whitespace(self):
+        from repro.serialization import canonical_json
+
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_key_order_of_input_is_irrelevant(self):
+        from repro.serialization import canonical_json
+
+        assert canonical_json({"x": 1, "y": 2}) == canonical_json(
+            {"y": 2, "x": 1}
+        )
+
+
+class TestAssessmentRoundTrip:
+    def assessment(self):
+        from repro import casestudy
+        from repro.core.evaluate import evaluate
+        from repro.workload.presets import cello
+
+        return evaluate(
+            casestudy.baseline_design(),
+            cello(),
+            casestudy.array_failure_scenario(),
+            casestudy.case_study_requirements(),
+        )
+
+    def test_round_trip_preserves_outputs(self):
+        from repro.serialization import assessment_from_dict, assessment_to_dict
+
+        original = self.assessment()
+        restored = assessment_from_dict(assessment_to_dict(original))
+        assert restored.summary() == original.summary()
+        assert restored.explain() == original.explain()
+        assert restored.total_cost == original.total_cost
+        assert restored.meets_objectives == original.meets_objectives
+        assert restored.recovery.render_timeline() == (
+            original.recovery.render_timeline()
+        )
+
+    def test_canonical_form_is_stable_through_a_round_trip(self):
+        # Serialize, restore, serialize again: the canonical JSON must
+        # not change, or cache keys of restored results would drift.
+        import json
+
+        from repro.serialization import (
+            assessment_from_dict,
+            assessment_to_dict,
+            canonical_json,
+        )
+
+        first = assessment_to_dict(self.assessment())
+        second = assessment_to_dict(
+            assessment_from_dict(json.loads(json.dumps(first)))
+        )
+        assert canonical_json(first) == canonical_json(second)
