@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""CI smoke test: the telemetry fabric, end to end, against a live run.
+
+Drives ``repro optimize --workers 4 --progress --run-dir <out>
+--serve-metrics 0`` in a thread, then — while the sweep is running —
+discovers the bound port via :func:`repro.obs.http.active_server` and
+scrapes ``/metrics``, ``/healthz`` and ``/progress``.  After the run
+it checks the ledger round-trip: worker-PID spans in ``spans.jsonl``
+(proof that trace context crossed the process pool), a finished
+manifest, an OpenMetrics exposition, and progress heartbeats.
+
+Usage: python .github/scripts/telemetry_smoke.py [out-dir]
+"""
+
+import json
+import os
+import sys
+import threading
+import time
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import main  # noqa: E402
+from repro.obs.http import active_server  # noqa: E402
+
+WORKERS = 4
+
+
+def fail(message: str) -> "sys.NoReturn":
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_smoke(out_dir: str) -> None:
+    result = {}
+
+    def run():
+        result["code"] = main(
+            [
+                "optimize",
+                "--workers",
+                str(WORKERS),
+                "--progress",
+                "--run-dir",
+                out_dir,
+                "--serve-metrics",
+                "0",
+            ]
+        )
+
+    thread = threading.Thread(target=run, name="repro-optimize")
+    thread.start()
+
+    # The server starts before the sweep (and well before the worker
+    # pool finishes spawning), so polling for it here lands mid-run.
+    deadline = time.monotonic() + 30.0
+    server = None
+    while server is None and time.monotonic() < deadline:
+        server = active_server()
+        if server is None and not thread.is_alive():
+            fail("run finished before the telemetry server was observed")
+        if server is None:
+            time.sleep(0.001)
+    if server is None:
+        fail("telemetry server never came up")
+
+    def get(path: str):
+        with urllib.request.urlopen(f"{server.url}{path}", timeout=5) as resp:
+            return resp.status, resp.headers.get("Content-Type", ""), resp.read().decode()
+
+    status, content_type, metrics_body = get("/metrics")
+    if status != 200 or "openmetrics-text" not in content_type:
+        fail(f"/metrics: status {status}, content-type {content_type!r}")
+    if not metrics_body.rstrip().endswith("# EOF"):
+        fail("/metrics exposition does not end with '# EOF'")
+    status, _, health_body = get("/healthz")
+    health = json.loads(health_body)
+    if status != 200 or health.get("status") != "ok":
+        fail(f"/healthz: status {status}, body {health_body!r}")
+    status, _, progress_body = get("/progress")
+    if status != 200:
+        fail(f"/progress: status {status}")
+    json.loads(progress_body)
+    print(f"live scrape ok on {server.url}: /metrics /healthz /progress")
+
+    thread.join(timeout=300.0)
+    if thread.is_alive():
+        fail("optimize run did not finish within 300 s")
+    if result.get("code") != 0:
+        fail(f"optimize exited with code {result.get('code')!r}")
+
+    out = Path(out_dir)
+    manifest = json.loads((out / "manifest.json").read_text())
+    for key in ("run_id", "status", "spans", "heartbeats", "wall_time_s"):
+        if key not in manifest:
+            fail(f"manifest.json is missing {key!r}")
+    if manifest["status"] != "ok":
+        fail(f"manifest status is {manifest['status']!r}, expected 'ok'")
+    if manifest["run_id"] != health["run_id"]:
+        fail("manifest run_id does not match the /healthz run_id")
+
+    records = [
+        json.loads(line)
+        for line in (out / "spans.jsonl").read_text().splitlines()
+        if line.strip()
+    ]
+    spans = [r for r in records if r.get("kind") == "span"]
+    worker_pids = {
+        r["attributes"]["pid"] for r in spans if "pid" in r.get("attributes", {})
+    }
+    if not worker_pids:
+        fail("no worker-PID spans in spans.jsonl — capsules did not merge")
+    if os.getpid() in worker_pids:
+        fail("parent PID tagged as a worker PID in spans.jsonl")
+    task_spans = [r for r in spans if r["name"] == "engine.task"]
+    if len(task_spans) < 2:
+        fail(f"expected several engine.task spans, found {len(task_spans)}")
+
+    prom = (out / "metrics.prom").read_text()
+    if not prom.rstrip().endswith("# EOF"):
+        fail("metrics.prom does not end with '# EOF'")
+    if "engine_tasks_total" not in prom:
+        fail("metrics.prom has no engine_tasks_total counter")
+
+    heartbeats = [
+        json.loads(line)
+        for line in (out / "progress.jsonl").read_text().splitlines()
+        if line.strip()
+    ]
+    if not heartbeats:
+        fail("progress.jsonl recorded no heartbeats")
+    final = heartbeats[-1]
+    if final.get("done") != final.get("total") or not final.get("total"):
+        fail(f"final heartbeat is not a completed sweep: {final!r}")
+
+    print(
+        f"ledger ok: {manifest['spans']} spans, worker pids {sorted(worker_pids)}, "
+        f"{len(heartbeats)} heartbeats, run {manifest['run_id']}"
+    )
+    print("telemetry smoke passed")
+
+
+if __name__ == "__main__":
+    run_smoke(sys.argv[1] if len(sys.argv) > 1 else "out")

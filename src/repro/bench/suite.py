@@ -104,6 +104,45 @@ def bench_optimize_parallel():
 
 
 @bench(
+    "optimize_parallel_telemetry",
+    description="pooled design-space search with the live telemetry fabric on",
+)
+def bench_optimize_parallel_telemetry():
+    import io
+    import os
+
+    from .. import casestudy, obs
+    from ..design import DesignSpace, candidate_designs, optimize
+    from ..engine import EngineConfig, warm_pool
+    from ..workload.presets import cello
+
+    workload = cello()
+    requirements = casestudy.case_study_requirements()
+    scenarios = casestudy.case_study_scenarios()
+    # At least two workers even on a single-core box so the run crosses
+    # the process boundary — worker capture, capsule transport and the
+    # parent-side merge are exactly what this benchmark times.
+    config = EngineConfig(workers=max(2, min(4, os.cpu_count() or 1)))
+    warm_pool(config.workers)
+    candidates = candidate_designs(DesignSpace())
+
+    def run():
+        # The full live fabric: worker span/metric capture merged into
+        # fresh parent instruments, plus throttled progress.  The
+        # per-run artifact flush (ledger finalization) is benched
+        # separately in benchmarks/bench_evaluate.py.
+        obs.set_tracer(obs.Tracer())
+        obs.set_metrics(obs.MetricsRegistry())
+        obs.set_progress(obs.ProgressReporter(stream=io.StringIO()))
+        try:
+            optimize(candidates, workload, scenarios, requirements, config=config)
+        finally:
+            obs.reset()
+
+    return run
+
+
+@bench(
     "optimize_cache_warm",
     description="many-scenario design-space search from a warm result cache",
 )

@@ -18,6 +18,14 @@ OpenMetrics/Prometheus text format.  When ``lint`` emits a machine
 format (``--format json``/``sarif``), the observability reports go to
 stderr so stdout stays parseable.
 
+Three more flags form the telemetry fabric: ``--run-dir PATH`` leaves
+a complete run ledger behind (``manifest.json``, ``spans.jsonl``,
+``metrics.prom``, ``progress.jsonl``), ``--progress`` reports live
+sweep progress on stderr, and ``--serve-metrics PORT`` serves
+``/metrics``, ``/healthz`` and ``/progress`` on localhost for the
+duration of the run.  All telemetry output goes to stderr or files —
+stdout carries only the reports themselves.
+
 A spec file looks like::
 
     {
@@ -52,8 +60,13 @@ from .lint.output import FORMATS as LINT_FORMATS
 from .lint.output import render as render_diagnostics
 from .obs import (
     MetricsRegistry,
+    ProgressReporter,
+    RunLedger,
+    TelemetryServer,
     Tracer,
     set_metrics,
+    set_progress,
+    set_run_id,
     set_tracer,
     write_openmetrics,
     write_trace_jsonl,
@@ -369,6 +382,28 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="write the run's metrics in OpenMetrics text format to PATH",
     )
+    parser.add_argument(
+        "--run-dir",
+        metavar="PATH",
+        default=None,
+        help="write a run ledger under PATH: manifest.json, spans.jsonl, "
+        "metrics.prom and progress.jsonl (implies tracing and metrics)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="report live sweep progress (done/total, cache hits, "
+        "throughput, ETA) on stderr",
+    )
+    parser.add_argument(
+        "--serve-metrics",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics (OpenMetrics), /healthz and /progress on "
+        "127.0.0.1:PORT for the duration of the run (0 picks a free "
+        "port, announced on stderr)",
+    )
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -523,12 +558,58 @@ def main(argv: Optional[List[str]] = None) -> int:
     trace_out = getattr(args, "trace_out", None)
     want_metrics = getattr(args, "metrics", False)
     metrics_out = getattr(args, "metrics_out", None)
-    tracer = set_tracer(Tracer()) if (trace or profile or trace_out) else None
-    registry = (
-        set_metrics(MetricsRegistry())
-        if (want_metrics or trace_out or metrics_out)
+    run_dir = getattr(args, "run_dir", None)
+    serve_port = getattr(args, "serve_metrics", None)
+    want_progress = getattr(args, "progress", False)
+    tracer = (
+        set_tracer(Tracer())
+        if (trace or profile or trace_out or run_dir is not None)
         else None
     )
+    registry = (
+        set_metrics(MetricsRegistry())
+        if (
+            want_metrics
+            or trace_out
+            or metrics_out
+            or run_dir is not None
+            or serve_port is not None
+        )
+        else None
+    )
+
+    ledger: "Optional[RunLedger]" = None
+    if run_dir is not None:
+        from .engine import model_schema_version
+
+        ledger = RunLedger(run_dir, argv=argv if argv is not None else sys.argv[1:])
+        set_run_id(ledger.run_id)
+        ledger.begin(
+            extra={
+                "command": getattr(args, "command", None),
+                "model_schema_version": model_schema_version(),
+                "workers": getattr(args, "workers", 1),
+                "cache_dir": getattr(args, "cache_dir", None),
+            }
+        )
+
+    reporter: "Optional[ProgressReporter]" = None
+    if want_progress or ledger is not None or serve_port is not None:
+        reporter = ProgressReporter(
+            stream=sys.stderr if want_progress else None, ledger=ledger
+        )
+        set_progress(reporter)
+
+    server: "Optional[TelemetryServer]" = None
+    if serve_port is not None:
+        server = TelemetryServer(
+            serve_port, registry=registry, progress=reporter
+        )
+        bound_port = server.start()
+        print(
+            f"serving telemetry on http://127.0.0.1:{bound_port}/metrics",
+            file=sys.stderr,
+        )
     # Machine formats (lint --format json/sarif) own stdout; the
     # human observability reports move to stderr so stdout stays
     # parseable — the same contract evaluate/optimize keep implicitly.
@@ -569,9 +650,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"error: cannot write metrics: {exc}", file=sys.stderr)
                 return 2
             print(f"wrote OpenMetrics to {metrics_out}", file=sys.stderr)
+        if ledger is not None:
+            try:
+                ledger.finish(
+                    tracer, registry, status="ok" if code == 0 else "error"
+                )
+            except OSError as exc:
+                print(f"error: cannot write run ledger: {exc}", file=sys.stderr)
+                return 2
+            print(
+                f"run ledger written to {ledger.directory} "
+                f"(run {ledger.run_id})",
+                file=sys.stderr,
+            )
         return code
     finally:
-        if tracer is not None or registry is not None:
+        if server is not None:
+            server.stop()
+        if (
+            tracer is not None
+            or registry is not None
+            or reporter is not None
+            or ledger is not None
+        ):
             reset_obs()
 
 

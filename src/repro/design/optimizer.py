@@ -103,7 +103,7 @@ def optimize(
         metrics.inc("optimizer.candidates", len(candidates))
         outcomes = evaluate_design_map(
             candidates, workload, scenarios, requirements,
-            config=config, cache=cache,
+            config=config, cache=cache, label="optimize",
         )
         for name, outcome in outcomes.items():
             if outcome.error is not None:

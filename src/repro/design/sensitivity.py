@@ -64,7 +64,8 @@ def _sweep(
             for index, (_, design) in enumerate(samples)
         }
         outcomes = evaluate_design_map(
-            designs, workload, [scenario], requirements, config=config
+            designs, workload, [scenario], requirements, config=config,
+            label="sensitivity",
         )
         points: "List[SweepPoint]" = []
         for (parameter, _), outcome in zip(samples, outcomes.values()):

@@ -88,7 +88,8 @@ def run_whatif(
     :func:`repro.engine.sweep.evaluate_design_map` directly.
     """
     outcomes = evaluate_design_map(
-        designs, workload, scenarios, requirements, config=config, cache=cache
+        designs, workload, scenarios, requirements, config=config, cache=cache,
+        label="whatif",
     )
     results: "List[WhatIfResult]" = []
     for name, outcome in outcomes.items():

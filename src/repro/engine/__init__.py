@@ -15,6 +15,13 @@ package exploits both properties behind one call —
 * :mod:`repro.engine.sweep` — the design-map helpers the optimizer,
   what-if and sensitivity layers are built on.
 
+The executor is also the bridge of the cross-process telemetry fabric:
+each dispatched chunk carries a :class:`~repro.obs.context.TraceContext`,
+workers return a :class:`~repro.obs.context.TelemetryCapsule` of spans
+and metric deltas that the parent merges back (so ``--trace`` /
+``--profile`` see worker-side hot paths), and every sweep reports live
+progress through :func:`repro.obs.get_progress`.
+
 Layering: the engine depends on ``repro.core`` / ``repro.serialization``
 / ``repro.obs``, never the reverse — the model stays ignorant of how it
 is scheduled.

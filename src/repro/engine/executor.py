@@ -52,6 +52,14 @@ from ..core.hierarchy import StorageDesign
 from ..core.results import Assessment
 from ..exceptions import CacheKeyError, EngineError, ReproError
 from ..obs import get_metrics, get_tracer
+from ..obs.context import (
+    TelemetryCapsule,
+    TelemetryCapture,
+    TraceContext,
+    current_context,
+    merge_capsule,
+)
+from ..obs.progress import get_progress
 from ..scenarios.failures import FailureScenario
 from ..scenarios.requirements import BusinessRequirements
 from ..workload.spec import Workload
@@ -244,11 +252,48 @@ def _execute_one(
         return task.name, None, exc, True
 
 
+def _execute_one_traced(
+    task: EngineTask, timeout: Optional[float]
+) -> "Tuple[str, Any, Optional[BaseException], bool]":
+    """:func:`_execute_one` wrapped in an ``engine.task`` span.
+
+    The wrapper span exists in *both* the serial inline path and the
+    worker-side chunk path, so a merged parallel trace has the same
+    span structure as a serial one (the byte-stability contract
+    ``repro.obs.profile.span_skeleton`` checks).  ``_execute_one``
+    never raises, so failures are recorded as attributes here.
+    """
+    with get_tracer().span("engine.task", task=task.name) as span:
+        row = _execute_one(task, timeout)
+        error = row[2]
+        if error is not None:
+            span.set(
+                error_type=type(error).__name__, error_message=str(error)
+            )
+    return row
+
+
 def _execute_chunk(
-    tasks: "List[EngineTask]", timeout: Optional[float]
-) -> "List[Tuple[str, Any, Optional[BaseException], bool]]":
-    """The unit of work shipped to a pool worker."""
-    return [_execute_one(task, timeout) for task in tasks]
+    tasks: "List[EngineTask]",
+    timeout: Optional[float],
+    ctx: Optional[TraceContext] = None,
+) -> "Tuple[List[Tuple[str, Any, Optional[BaseException], bool]], Optional[TelemetryCapsule]]":
+    """The unit of work shipped to a pool worker.
+
+    With a :class:`~repro.obs.context.TraceContext`, the worker
+    installs a capturing tracer/registry for the chunk and returns
+    everything it recorded as a telemetry capsule alongside the rows;
+    without one (telemetry off in the parent) capture is skipped
+    entirely and the capsule is None.
+    """
+    if ctx is None or not ctx.enabled:
+        return [_execute_one(task, timeout) for task in tasks], None
+    capture = TelemetryCapture(ctx)
+    try:
+        rows = [_execute_one_traced(task, timeout) for task in tasks]
+    finally:
+        capsule = capture.finish()
+    return rows, capsule
 
 
 # One pool per worker count, reused across sweeps: fork+import costs far
@@ -318,11 +363,13 @@ def _retry_inline(
 ) -> TaskOutcome:
     """Re-run a failed task in the parent with exponential backoff."""
     metrics = get_metrics()
+    progress = get_progress()
     error: BaseException = first_error
     attempts = 1
     while attempts <= config.retries:
         time.sleep(config.retry_backoff * (2 ** (attempts - 1)))
         metrics.inc("engine.retries")
+        progress.advance(retries=1)
         attempts += 1
         # Keep enforcing the per-task timeout (works on the parent's
         # main thread too): a genuinely hung task must never block the
@@ -352,6 +399,7 @@ def _run_pool(
     pool keeps serving the healthy chunks.
     """
     metrics = get_metrics()
+    progress = get_progress()
     workers = min(config.workers, len(pending))
     chunk_size = config.chunk_size
     if chunk_size is None:
@@ -364,22 +412,39 @@ def _run_pool(
     if config.task_timeout is not None:
         budget = config.task_timeout * chunk_size + 5.0
 
+    # One context describes the whole sweep; workers capture telemetry
+    # only when the parent has live instruments.
+    ctx = current_context()
+
     pool = _get_pool(workers)
     futures = []
     for chunk in chunks:
         tasks = [task for _, task in chunk]
-        futures.append((chunk, pool.submit(_execute_chunk, tasks, config.task_timeout)))
+        futures.append(
+            (chunk, pool.submit(_execute_chunk, tasks, config.task_timeout, ctx))
+        )
 
+    # Futures are consumed in submission order (= input order), so
+    # capsule merges — and therefore gauge last-writes and the merged
+    # span skeleton — are deterministic and match a serial run.
     for chunk, future in futures:
         try:
-            rows = future.result(timeout=budget)
+            rows, capsule = future.result(timeout=budget)
         except (BrokenProcessPool, FutureTimeoutError, OSError) as exc:
             # The whole chunk is suspect: drop the pool and redo each
             # task inline with retries.
             _discard_pool()
+            chunk_failed = 0
             for index, task in chunk:
                 outcomes[index] = _retry_inline(task, config, exc)
+                outcome = outcomes[index]
+                if outcome is not None and outcome.error is not None:
+                    chunk_failed += 1
+            progress.advance(done=len(chunk), failed=chunk_failed)
             continue
+        if capsule is not None:
+            merge_capsule(capsule)
+        chunk_failed = 0
         for (index, task), (name, value, error, retryable) in zip(chunk, rows):
             if error is None:
                 outcomes[index] = TaskOutcome(name=name, value=value)
@@ -389,12 +454,53 @@ def _run_pool(
                 outcomes[index] = TaskOutcome(
                     name=name, error=error, retryable=retryable
                 )
+            resolved_outcome = outcomes[index]
+            if resolved_outcome is not None and resolved_outcome.error is not None:
+                chunk_failed += 1
+        progress.advance(done=len(chunk), failed=chunk_failed)
+
+
+def _record_failures(
+    map_span: Any,
+    outcomes: "List[Optional[TaskOutcome]]",
+    keys: "List[Optional[str]]",
+) -> None:
+    """Count failed outcomes and attach diagnosis records to the sweep span.
+
+    Each failed task contributes to ``engine.tasks_failed`` and to a
+    per-exception-type ``engine.tasks_failed.<Type>`` counter, and a
+    compact record (task name, cache key, error, attempts) lands on the
+    ``engine.map`` span — which the run ledger persists to
+    ``spans.jsonl``, so a failed sweep can be diagnosed post-hoc
+    without re-running it.
+    """
+    metrics = get_metrics()
+    failures: "List[Dict[str, Any]]" = []
+    for index, outcome in enumerate(outcomes):
+        if outcome is None or outcome.error is None:
+            continue
+        error_type = type(outcome.error).__name__
+        metrics.inc("engine.tasks_failed")
+        metrics.inc(f"engine.tasks_failed.{error_type}")
+        failures.append(
+            {
+                "task": outcome.name,
+                "key": keys[index],
+                "error_type": error_type,
+                "error": str(outcome.error),
+                "attempts": outcome.attempts,
+                "retryable": outcome.retryable,
+            }
+        )
+    if failures:
+        map_span.set(failed=len(failures), failures=failures)
 
 
 def map_evaluations(
     tasks: "Sequence[EngineTask]",
     config: Optional[EngineConfig] = None,
     cache: Optional[ResultCache] = None,
+    label: str = "sweep",
 ) -> "List[TaskOutcome]":
     """Run every task; return one outcome per task, in input order.
 
@@ -402,11 +508,13 @@ def map_evaluations(
     sweeps and the CLI.  Never raises for a task-level failure — check
     each outcome's ``error``.  Pass an explicit ``cache`` to share one
     across calls; otherwise a cache is built from the config (and the
-    memory tier then lives only for this call).
+    memory tier then lives only for this call).  ``label`` names the
+    sweep in progress reports (``[designs] 37/120 ...``).
     """
     config = config or EngineConfig()
     metrics = get_metrics()
     tracer = get_tracer()
+    progress = get_progress()
     metrics.set_gauge("engine.workers", config.workers)
     metrics.inc("engine.tasks", len(tasks))
 
@@ -416,7 +524,10 @@ def map_evaluations(
             cache_dir=config.cache_dir,
         )
 
-    with tracer.span("engine.map", tasks=len(tasks), workers=config.workers):
+    progress.begin(len(tasks), label=label)
+    with tracer.span(
+        "engine.map", tasks=len(tasks), workers=config.workers
+    ) as map_span:
         outcomes: "List[Optional[TaskOutcome]]" = [None] * len(tasks)
         keys: "List[Optional[str]]" = [None] * len(tasks)
         pending: "List[Tuple[int, EngineTask]]" = []
@@ -424,6 +535,8 @@ def map_evaluations(
         # digested once for the whole sweep, not once per task.
         memo: PartMemo = {}
 
+        cache_hits = 0
+        resolve_failures = 0
         for index, task in enumerate(tasks):
             try:
                 resolved = task.resolve()
@@ -431,6 +544,7 @@ def map_evaluations(
                 # A factory that cannot even build its design is a
                 # modeling outcome, same as an evaluation-time one.
                 outcomes[index] = TaskOutcome(name=task.name, error=exc)
+                resolve_failures += 1
                 continue
             if cache is not None:
                 try:
@@ -445,16 +559,26 @@ def map_evaluations(
                         outcomes[index] = TaskOutcome(
                             name=task.name, value=value, cached=True
                         )
+                        cache_hits += 1
                         continue
             pending.append((index, resolved))
+        if cache_hits or resolve_failures:
+            progress.advance(
+                done=cache_hits + resolve_failures,
+                cached=cache_hits,
+                failed=resolve_failures,
+            )
 
         if pending:
             if config.workers <= 1:
                 for index, resolved in pending:
-                    name, value, error, retryable = _execute_one(resolved, None)
+                    name, value, error, retryable = _execute_one_traced(
+                        resolved, None
+                    )
                     outcomes[index] = TaskOutcome(
                         name=name, value=value, error=error, retryable=retryable
                     )
+                    progress.advance(done=1, failed=1 if error is not None else 0)
             else:
                 parallel: "List[Tuple[int, EngineTask]]" = []
                 inline: "List[Tuple[int, EngineTask]]" = []
@@ -463,9 +587,14 @@ def map_evaluations(
                 if inline:
                     metrics.inc("engine.tasks_inline", len(inline))
                     for index, resolved in inline:
-                        name, value, error, retryable = _execute_one(resolved, None)
+                        name, value, error, retryable = _execute_one_traced(
+                            resolved, None
+                        )
                         outcomes[index] = TaskOutcome(
                             name=name, value=value, error=error, retryable=retryable
+                        )
+                        progress.advance(
+                            done=1, failed=1 if error is not None else 0
                         )
                 if parallel:
                     _run_pool(parallel, config, outcomes)
@@ -482,7 +611,9 @@ def map_evaluations(
                     assert key is not None
                     cache.put(key, outcome.value)
 
+        _record_failures(map_span, outcomes, keys)
         final = [outcome for outcome in outcomes if outcome is not None]
         if len(final) != len(tasks):
             raise EngineError("engine lost track of a task outcome")
-        return final
+    progress.finish()
+    return final

@@ -68,12 +68,14 @@ def evaluate_design_map(
     config: Optional[EngineConfig] = None,
     cache: Optional[ResultCache] = None,
     strict_utilization: bool = True,
+    label: str = "designs",
 ) -> "Dict[str, TaskOutcome]":
     """Evaluate every named design against every scenario.
 
     Returns ``{name: outcome}`` in the mapping's iteration order; a
     successful outcome's ``value`` is the ``{scenario: Assessment}``
-    dict of :func:`repro.core.evaluate.evaluate_scenarios`.
+    dict of :func:`repro.core.evaluate.evaluate_scenarios`.  ``label``
+    names the sweep in live progress reports.
     """
     scenario_tuple = tuple(scenarios)
     tasks = [
@@ -82,7 +84,7 @@ def evaluate_design_map(
         )
         for name, design in designs.items()
     ]
-    outcomes = map_evaluations(tasks, config=config, cache=cache)
+    outcomes = map_evaluations(tasks, config=config, cache=cache, label=label)
     return {outcome.name: outcome for outcome in outcomes}
 
 
@@ -110,6 +112,7 @@ def evaluate_scenarios_cached(
         config=config,
         cache=cache,
         strict_utilization=strict_utilization,
+        label="evaluate",
     )
     outcome = outcomes[name]
     if outcome.error is not None:

@@ -21,7 +21,20 @@ Zero-dependency instrumentation for the evaluation pipeline:
   CLI's ``--profile``);
 * :mod:`repro.obs.export` — JSON-lines export/import of span trees and
   metric snapshots (the CLI's ``--trace-out``), plus the
-  OpenMetrics/Prometheus text exposition of a metrics registry.
+  OpenMetrics/Prometheus text exposition of a metrics registry;
+* :mod:`repro.obs.context` — cross-process trace propagation: the
+  :class:`TraceContext` shipped with each dispatched task chunk, the
+  worker-side :class:`TelemetryCapture`, and the
+  :class:`TelemetryCapsule` of spans/metric-deltas merged back into
+  the parent (:func:`merge_capsule`);
+* :mod:`repro.obs.progress` — the live sweep progress reporter
+  (throttled stderr one-liner + machine heartbeats), injectable like
+  the tracer (:func:`get_progress` / :func:`set_progress`);
+* :mod:`repro.obs.ledger` — the per-run artifact directory
+  (``manifest.json``, ``spans.jsonl``, ``metrics.prom``,
+  ``progress.jsonl``) behind the CLI's ``--run-dir``;
+* :mod:`repro.obs.http` — the ``/metrics`` / ``/healthz`` /
+  ``/progress`` HTTP endpoint behind ``--serve-metrics``.
 
 Enable everything for one block of code::
 
@@ -47,7 +60,14 @@ from .metrics import (
     use_metrics,
 )
 from .provenance import EvaluationProvenance, explain_assessment
-from .profile import PathNode, Profile, ProfileEntry, build_profile
+from .profile import (
+    PathNode,
+    Profile,
+    ProfileEntry,
+    build_profile,
+    skeleton_digest,
+    span_skeleton,
+)
 from .export import (
     metric_records,
     openmetrics_text,
@@ -56,12 +76,34 @@ from .export import (
     write_openmetrics,
     write_trace_jsonl,
 )
+from .context import (
+    TelemetryCapsule,
+    TelemetryCapture,
+    TraceContext,
+    current_context,
+    get_run_id,
+    merge_capsule,
+    new_run_id,
+    set_run_id,
+)
+from .progress import (
+    NULL_PROGRESS,
+    NullProgress,
+    ProgressReporter,
+    get_progress,
+    set_progress,
+    use_progress,
+)
+from .ledger import RunLedger, read_manifest
+from .http import TelemetryServer, active_server
 
 
 def reset() -> None:
-    """Restore the no-op defaults for both the tracer and the metrics."""
+    """Restore the no-op defaults: tracer, metrics, progress, run ID."""
     set_tracer(None)
     set_metrics(None)
+    set_progress(None)
+    set_run_id(None)
 
 
 __all__ = [
@@ -87,11 +129,31 @@ __all__ = [
     "ProfileEntry",
     "PathNode",
     "build_profile",
+    "span_skeleton",
+    "skeleton_digest",
     "span_records",
     "metric_records",
     "write_trace_jsonl",
     "read_trace_jsonl",
     "openmetrics_text",
     "write_openmetrics",
+    "TraceContext",
+    "TelemetryCapture",
+    "TelemetryCapsule",
+    "current_context",
+    "merge_capsule",
+    "new_run_id",
+    "get_run_id",
+    "set_run_id",
+    "NullProgress",
+    "NULL_PROGRESS",
+    "ProgressReporter",
+    "get_progress",
+    "set_progress",
+    "use_progress",
+    "RunLedger",
+    "read_manifest",
+    "TelemetryServer",
+    "active_server",
     "reset",
 ]

@@ -74,13 +74,18 @@ def write_trace_jsonl(
             records.append({"kind": "span", **record})
     if metrics is not None:
         records.extend(metric_records(metrics))
+    # One buffered write of compactly-encoded lines: the run ledger
+    # dumps hundreds of spans per sweep, so per-record write() calls
+    # and default (spaced) JSON encoding would dominate the cost.
+    dumps = json.dumps
+    text = "".join(
+        dumps(record, separators=(",", ":")) + "\n" for record in records
+    )
     if isinstance(destination, str):
         with open(destination, "w") as handle:
-            for record in records:
-                handle.write(json.dumps(record) + "\n")
+            handle.write(text)
     else:
-        for record in records:
-            destination.write(json.dumps(record) + "\n")
+        destination.write(text)
     return len(records)
 
 

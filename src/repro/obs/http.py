@@ -1,0 +1,176 @@
+"""A stdlib HTTP endpoint serving live telemetry during a run.
+
+:class:`TelemetryServer` wraps a daemon-threaded
+:class:`~http.server.ThreadingHTTPServer` bound to localhost and
+serves three routes straight from the live process state:
+
+* ``GET /metrics`` — the current metrics registry in the
+  OpenMetrics/Prometheus text exposition (what a Prometheus scraper
+  or ``curl`` polls mid-sweep);
+* ``GET /healthz`` — ``{"status": "ok", "run_id": ...}``, a liveness
+  probe;
+* ``GET /progress`` — the latest progress heartbeat as JSON (empty
+  object before the first sweep starts).
+
+The server is intentionally read-only and unauthenticated — it binds
+``127.0.0.1`` by default and exists for local scraping and CI smoke
+tests, the first brick of the ROADMAP's evaluation-as-a-service front
+door.  Request logging is suppressed entirely so ``--serve-metrics``
+can never pollute machine-readable stdout.
+
+Port 0 asks the OS for a free port; :meth:`TelemetryServer.start`
+returns the bound port and registers the instance with
+:func:`active_server` so out-of-process harnesses (the CI smoke
+script) can discover it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Optional
+
+from .context import get_run_id
+from .export import openmetrics_text
+from .metrics import MetricsRegistry, get_metrics
+from .progress import get_progress
+
+#: Content type of the OpenMetrics exposition, per the spec.
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+_ACTIVE: "Optional[TelemetryServer]" = None
+_ACTIVE_LOCK = threading.Lock()
+
+
+def active_server() -> "Optional[TelemetryServer]":
+    """The currently started :class:`TelemetryServer`, if any."""
+    return _ACTIVE
+
+
+class _TelemetryHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    telemetry: "TelemetryServer"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-telemetry/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args: Any) -> None:
+        """Quiet: telemetry must never write to stdout/stderr."""
+
+    def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
+        telemetry = self.server.telemetry  # type: ignore[attr-defined]
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/metrics":
+            body = openmetrics_text(telemetry.registry_now())
+            self._reply(200, OPENMETRICS_CONTENT_TYPE, body.encode("utf-8"))
+        elif path == "/healthz":
+            payload = {"status": "ok", "run_id": telemetry.run_id}
+            self._reply_json(200, payload)
+        elif path == "/progress":
+            self._reply_json(200, telemetry.progress_now())
+        else:
+            self._reply_json(404, {"error": f"unknown path {path!r}"})
+
+    def _reply(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_json(self, code: int, payload: Any) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self._reply(code, "application/json; charset=utf-8", body)
+
+
+class TelemetryServer:
+    """Serves ``/metrics``, ``/healthz`` and ``/progress`` for one run.
+
+    ``registry`` and ``progress`` may be passed explicitly (the CLI
+    binds the instances it installed) or left None to resolve the
+    process-global instruments at request time — either way every
+    request sees the *live* state, not a snapshot.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        registry: Optional[MetricsRegistry] = None,
+        progress: Optional[Any] = None,
+        run_id: Optional[str] = None,
+    ):
+        self.host = host
+        self.requested_port = port
+        self.port: Optional[int] = None
+        self._registry = registry
+        self._progress = progress
+        self._run_id = run_id
+        self._httpd: Optional[_TelemetryHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def run_id(self) -> str:
+        return self._run_id if self._run_id is not None else get_run_id()
+
+    def registry_now(self) -> MetricsRegistry:
+        """The registry requests read from (bound or process-global)."""
+        return self._registry if self._registry is not None else get_metrics()
+
+    def progress_now(self) -> Any:
+        """The latest progress heartbeat ({} before the first)."""
+        source = self._progress if self._progress is not None else get_progress()
+        latest = getattr(source, "latest", None)
+        return latest if latest is not None else {}
+
+    @property
+    def url(self) -> str:
+        """The server's base URL (valid after :meth:`start`)."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> int:
+        """Bind, start the daemon serving thread, return the port."""
+        global _ACTIVE
+        if self._httpd is not None:
+            assert self.port is not None
+            return self.port
+        httpd = _TelemetryHTTPServer((self.host, self.requested_port), _Handler)
+        httpd.telemetry = self
+        self._httpd = httpd
+        self.port = httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=httpd.serve_forever,
+            name=f"repro-telemetry-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        with _ACTIVE_LOCK:
+            _ACTIVE = self
+        return self.port
+
+    def stop(self) -> None:
+        """Shut the server down and release the port (idempotent)."""
+        global _ACTIVE
+        httpd, thread = self._httpd, self._thread
+        self._httpd = self._thread = None
+        if httpd is not None:
+            httpd.shutdown()
+            httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+        with _ACTIVE_LOCK:
+            if _ACTIVE is self:
+                _ACTIVE = None
+
+    def __enter__(self) -> "TelemetryServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

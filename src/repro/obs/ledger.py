@@ -1,0 +1,144 @@
+"""The run ledger: one durable, diffable directory of artifacts per run.
+
+Every sweep invoked with ``--run-dir`` leaves a complete observability
+record behind::
+
+    <run-dir>/
+      manifest.json    # run ID, argv, model schema version, wall time
+      spans.jsonl      # the merged span forest (worker spans included)
+      metrics.prom     # final OpenMetrics snapshot of the registry
+      progress.jsonl   # one JSON heartbeat per progress emission
+
+``manifest.json`` is written by :meth:`RunLedger.begin` as soon as the
+run starts (so a crashed run still identifies itself) and rewritten by
+:meth:`RunLedger.finish` with the wall time and exit status.  Span and
+metric artifacts reuse the existing JSONL / OpenMetrics writers, so
+everything in the ledger round-trips through the same readers as
+``--trace-out`` / ``--metrics-out``.
+
+The ledger never *owns* instruments — the caller passes its tracer and
+registry to ``finish`` — so it layers strictly above
+:mod:`repro.obs.tracer` / :mod:`repro.obs.metrics` and below nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, Optional, Union
+
+from .context import new_run_id
+from .export import write_openmetrics, write_trace_jsonl
+from .metrics import MetricsRegistry
+from .tracer import NullTracer, Tracer
+
+
+def _utc_stamp(wall_seconds: float) -> str:
+    """An ISO-8601 UTC timestamp for manifest fields."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(wall_seconds))
+
+
+class RunLedger:
+    """Writes one run's observability artifacts under a directory."""
+
+    MANIFEST = "manifest.json"
+    SPANS = "spans.jsonl"
+    METRICS = "metrics.prom"
+    PROGRESS = "progress.jsonl"
+
+    def __init__(
+        self,
+        directory: "Union[str, os.PathLike]",
+        run_id: Optional[str] = None,
+        argv: Optional[list] = None,
+    ):
+        self.directory = os.fspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+        self.run_id = run_id if run_id is not None else new_run_id()
+        self.argv = list(argv) if argv is not None else []
+        self._started_wall = time.time()
+        self._started = time.perf_counter()
+        self._manifest: "Dict[str, Any]" = {}
+        self.heartbeats = 0
+
+    def path(self, filename: str) -> str:
+        """The absolute path of one ledger artifact."""
+        return os.path.join(self.directory, filename)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def begin(self, extra: "Optional[Dict[str, Any]]" = None) -> "Dict[str, Any]":
+        """Write the initial manifest and truncate ``progress.jsonl``.
+
+        ``extra`` lands verbatim in the manifest — the CLI passes the
+        engine's ``model_schema_version`` (the SHA over the model
+        source that also versions the result cache), the worker count
+        and the cache directory.
+        """
+        self._manifest = {
+            "run_id": self.run_id,
+            "argv": self.argv,
+            "pid": os.getpid(),
+            "python": sys.version.split()[0],
+            "started": _utc_stamp(self._started_wall),
+            "status": "running",
+        }
+        if extra:
+            self._manifest.update(extra)
+        self._write_manifest()
+        with open(self.path(self.PROGRESS), "w"):
+            pass
+        return dict(self._manifest)
+
+    def heartbeat(self, record: "Dict[str, Any]") -> None:
+        """Append one progress heartbeat to ``progress.jsonl``."""
+        self.heartbeats += 1
+        with open(self.path(self.PROGRESS), "a") as handle:
+            handle.write(json.dumps(record) + "\n")
+
+    def finish(
+        self,
+        tracer: "Optional[Union[Tracer, NullTracer]]" = None,
+        metrics: Optional[MetricsRegistry] = None,
+        status: str = "ok",
+    ) -> "Dict[str, Any]":
+        """Write span/metric artifacts and the final manifest.
+
+        Safe to call without a tracer or registry — the corresponding
+        artifact is simply skipped — and idempotent, so both a normal
+        exit and an error path may call it.
+        """
+        span_count = 0
+        if tracer is not None and tracer.enabled:
+            span_count = write_trace_jsonl(self.path(self.SPANS), tracer=tracer)
+        if metrics is not None and metrics.enabled:
+            write_openmetrics(self.path(self.METRICS), metrics)
+        if not self._manifest:
+            self.begin()
+        self._manifest.update(
+            {
+                "status": status,
+                "finished": _utc_stamp(time.time()),
+                "wall_time_s": round(time.perf_counter() - self._started, 6),
+                "spans": span_count,
+                "heartbeats": self.heartbeats,
+            }
+        )
+        self._write_manifest()
+        return dict(self._manifest)
+
+    # -- internals ------------------------------------------------------------
+
+    def _write_manifest(self) -> None:
+        with open(self.path(self.MANIFEST), "w") as handle:
+            json.dump(self._manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+
+def read_manifest(directory: "Union[str, os.PathLike]") -> "Dict[str, Any]":
+    """Load a ledger directory's ``manifest.json``."""
+    with open(os.path.join(os.fspath(directory), RunLedger.MANIFEST)) as handle:
+        loaded: "Dict[str, Any]" = json.load(handle)
+        return loaded

@@ -127,6 +127,45 @@ class Histogram:
             cumulative += in_bucket
         return self.max
 
+    def state(self) -> "Dict[str, Any]":
+        """The histogram's complete, JSON/pickle-friendly state —
+        unlike the snapshot summary, buckets are included, so another
+        histogram can merge this one losslessly."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(index): n for index, n in sorted(self.buckets.items())},
+        }
+
+    def merge_state(self, state: "Dict[str, Any]") -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Counts, totals and buckets add; min/max widen.  Because every
+        histogram shares the same fixed bucket layout, the merged
+        buckets are exactly what one histogram observing both streams
+        would hold — percentile estimates are preserved.
+        """
+        count = int(state.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(state.get("total", 0.0))
+        other_min = state.get("min")
+        if other_min is not None:
+            self.min = other_min if self.min is None else min(self.min, other_min)
+        other_max = state.get("max")
+        if other_max is not None:
+            self.max = other_max if self.max is None else max(self.max, other_max)
+        for index, n in state.get("buckets", {}).items():
+            key = int(index)
+            self.buckets[key] = self.buckets.get(key, 0) + int(n)
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another live histogram into this one."""
+        self.merge_state(other.state())
+
     @property
     def p50(self) -> float:
         """Estimated median."""
@@ -229,6 +268,40 @@ class MetricsRegistry:
                 },
             }
 
+    def state(self) -> "Dict[str, Any]":
+        """The registry's complete state, histogram buckets included.
+
+        The cross-process wire form: a worker's capture registry
+        starts empty, so its counter values are *deltas* relative to
+        the parent, ready for :meth:`merge_state` to sum.
+        """
+        with self._lock:
+            return {
+                "counters": {name: c.value for name, c in sorted(self.counters.items())},
+                "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
+                "histograms": {
+                    name: h.state() for name, h in sorted(self.histograms.items())
+                },
+            }
+
+    def merge_state(self, state: "Dict[str, Any]") -> None:
+        """Fold another registry's :meth:`state` into this one.
+
+        Counter values are treated as deltas and summed; gauges are
+        applied last-write-wins (callers merge capsules in submission
+        order, so the surviving value matches a serial run); histogram
+        buckets merge losslessly.
+        """
+        with self._lock:
+            for name, delta in state.get("counters", {}).items():
+                self._instrument(self.counters, Counter, name).inc(delta)
+            for name, value in state.get("gauges", {}).items():
+                self._instrument(self.gauges, Gauge, name).set(value)
+            for name, histogram_state in state.get("histograms", {}).items():
+                self._instrument(self.histograms, Histogram, name).merge_state(
+                    histogram_state
+                )
+
     def reset(self) -> None:
         """Drop every instrument (tests call this between cases)."""
         with self._lock:
@@ -263,6 +336,9 @@ class NullMetricsRegistry(MetricsRegistry):
         pass
 
     def observe(self, name: str, value: float) -> None:
+        pass
+
+    def merge_state(self, state: "Dict[str, Any]") -> None:
         pass
 
 

@@ -17,8 +17,10 @@ so a profile taken mid-run never reports negative self time.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass
-from typing import Dict, List, Tuple, Union
+from typing import Any, Dict, List, Tuple, Union
 
 from .spans import Span
 from .tracer import NullTracer, Tracer
@@ -191,3 +193,31 @@ def build_profile(tracer: "Union[Tracer, NullTracer]") -> Profile:
         total_ms=total_ms,
         span_count=span_count,
     )
+
+
+def span_skeleton(tracer: "Union[Tracer, NullTracer]") -> "List[Dict[str, Any]]":
+    """The structure-only view of a tracer's span forest.
+
+    Names and nesting, with every timing, attribute and PID stripped —
+    exactly the part of a merged trace that must be identical between
+    a serial and a parallel run of the same sweep (workers adopt their
+    spans in submission order, so the merged forest keeps input
+    order).  :func:`skeleton_digest` hashes it for byte-stability
+    assertions.
+    """
+
+    def node(span: Span) -> "Dict[str, Any]":
+        return {
+            "name": span.name,
+            "children": [node(child) for child in span.children],
+        }
+
+    return [node(root) for root in tracer.roots]
+
+
+def skeleton_digest(tracer: "Union[Tracer, NullTracer]") -> str:
+    """SHA-256 over the canonical JSON of :func:`span_skeleton`."""
+    body = json.dumps(
+        span_skeleton(tracer), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()

@@ -8,26 +8,113 @@ when the wall clock steps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from types import TracebackType
+
+    from .tracer import Tracer
+
+#: The compact tuple form of one span subtree (see :func:`pack_span`).
+PackedSpan = Tuple[
+    str,
+    float,
+    Optional[float],
+    Optional[Dict[str, Any]],
+    str,
+    Optional[str],
+    Optional[str],
+    tuple,
+]
 
 
-@dataclass
 class Span:
     """One timed operation in a trace tree.
 
-    Mutable while open; :class:`~repro.obs.tracer.Tracer` sets ``end``
-    when the span's context manager exits.
+    A span is its own context manager: :meth:`~repro.obs.tracer.Tracer.span`
+    constructs it bound to the tracer, ``__enter__`` stamps the start
+    time and pushes it onto the tracer's open-span stack, ``__exit__``
+    stamps the end (recording the exception, if any) and pops it.
+    Fusing the handle and the record into one hand-rolled slotted class
+    saves an allocation and two delegating calls per span — spans are
+    the highest-volume telemetry object (hundreds per sweep), so
+    enter/exit IS the tracing hot path.
+
+    Spans rebuilt from the packed wire form (or constructed directly)
+    have no tracer binding and must not be used as context managers.
     """
 
-    name: str
-    start: float
-    end: Optional[float] = None
-    attributes: "Dict[str, Any]" = field(default_factory=dict)
-    children: "List[Span]" = field(default_factory=list)
-    status: str = "ok"
-    error_type: Optional[str] = None
-    error_message: Optional[str] = None
+    __slots__ = (
+        "name",
+        "start",
+        "end",
+        "attributes",
+        "children",
+        "status",
+        "error_type",
+        "error_message",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        start: float = 0.0,
+        end: Optional[float] = None,
+        attributes: "Optional[Dict[str, Any]]" = None,
+        children: "Optional[List[Span]]" = None,
+        status: str = "ok",
+        error_type: Optional[str] = None,
+        error_message: Optional[str] = None,
+        tracer: "Optional[Tracer]" = None,
+    ):
+        self.name = name
+        self.start = start
+        self.end = end
+        self.attributes = {} if attributes is None else attributes
+        self.children = [] if children is None else children
+        self.status = status
+        self.error_type = error_type
+        self.error_message = error_message
+        self._tracer = tracer
+
+    def __repr__(self) -> str:
+        return (
+            f"Span(name={self.name!r}, start={self.start!r}, end={self.end!r}, "
+            f"status={self.status!r}, children={len(self.children)})"
+        )
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        assert tracer is not None, "span is not bound to a tracer"
+        self.start = tracer._clock() - tracer._epoch
+        stack = tracer._stack
+        (stack[-1].children if stack else tracer.roots).append(self)
+        stack.append(self)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: "Optional[type]",
+        exc: Optional[BaseException],
+        _tb: "Optional[TracebackType]",
+    ) -> bool:
+        tracer = self._tracer
+        assert tracer is not None, "span is not bound to a tracer"
+        self.end = tracer._clock() - tracer._epoch
+        if exc is not None:
+            self.status = "error"
+            self.error_type = type(exc).__name__
+            self.error_message = str(exc)
+            self.attributes.setdefault("error", repr(exc))
+        # Tolerate mis-nested exits (e.g. a generator closed late) by
+        # unwinding to the span being closed instead of corrupting the
+        # stack for every subsequent span.
+        stack = tracer._stack
+        while stack:
+            if stack.pop() is self:
+                break
+        return False
 
     @property
     def finished(self) -> bool:
@@ -54,6 +141,20 @@ class Span:
     def set(self, **attributes: Any) -> "Span":
         """Attach attributes to the span; returns the span for chaining."""
         self.attributes.update(attributes)
+        return self
+
+    def shift(self, offset: float) -> "Span":
+        """Move this span (and its subtree) ``offset`` seconds later.
+
+        Used when adopting spans recorded against another tracer's
+        epoch (a worker process's) onto this tracer's timeline;
+        durations are unchanged.
+        """
+        self.start += offset
+        if self.end is not None:
+            self.end += offset
+        for child in self.children:
+            child.shift(offset)
         return self
 
     def walk(self, depth: int = 0) -> "Iterator[Tuple[Span, int]]":
@@ -83,3 +184,43 @@ class Span:
             record["error_type"] = self.error_type
             record["error_message"] = self.error_message
         return record
+
+
+def pack_span(span: Span) -> PackedSpan:
+    """The span subtree as nested tuples of primitives.
+
+    The telemetry capsule ships worker spans in this form: pickling
+    pure tuples/dicts of primitives runs entirely in C, several times
+    faster than reducing the dataclass objects — and the capsule
+    crossing the process boundary per chunk is the fabric's hottest
+    serialization path.
+    """
+    return (
+        span.name,
+        span.start,
+        span.end,
+        span.attributes or None,
+        span.status,
+        span.error_type,
+        span.error_message,
+        tuple(pack_span(child) for child in span.children),
+    )
+
+
+def unpack_span(packed: PackedSpan, shift: float = 0.0) -> Span:
+    """Rebuild a :func:`pack_span` subtree, shifting times by ``shift``.
+
+    Folding the rebase into reconstruction saves the separate
+    :meth:`Span.shift` walk when a capsule is merged.
+    """
+    name, start, end, attributes, status, error_type, error_message, kids = packed
+    return Span(
+        name=name,
+        start=start + shift,
+        end=None if end is None else end + shift,
+        attributes=dict(attributes) if attributes else {},
+        children=[unpack_span(kid, shift) for kid in kids],
+        status=status,
+        error_type=error_type,
+        error_message=error_message,
+    )

@@ -24,9 +24,9 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Callable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
 
-from .spans import Span
+from .spans import Span, unpack_span
 
 
 class _NullSpan:
@@ -66,33 +66,23 @@ class NullTracer:
         """Always empty."""
         return iter(())
 
+    def adopt(self, spans: "Iterable[Span]", shift: float = 0.0) -> None:
+        """Discard externally-recorded spans."""
+
+    def adopt_packed(
+        self,
+        packed_roots: "Iterable[tuple]",
+        shift: float = 0.0,
+        pid: Optional[int] = None,
+    ) -> None:
+        """Discard externally-recorded packed span trees."""
+
     def clear(self) -> None:
         """Nothing to clear."""
 
 
 #: The process-wide default: tracing disabled.
 NULL_TRACER = NullTracer()
-
-
-class _ActiveSpan:
-    """Context manager that opens a span on enter and closes it on exit."""
-
-    __slots__ = ("_tracer", "_name", "_attributes", "_span")
-
-    def __init__(self, tracer: "Tracer", name: str, attributes: "dict"):
-        self._tracer = tracer
-        self._name = name
-        self._attributes = attributes
-        self._span: Optional[Span] = None
-
-    def __enter__(self) -> Span:
-        self._span = self._tracer._begin(self._name, self._attributes)
-        return self._span
-
-    def __exit__(self, exc_type, exc, _tb) -> bool:
-        assert self._span is not None, "span exited before it was entered"
-        self._tracer._end(self._span, exc)
-        return False
 
 
 class Tracer:
@@ -111,39 +101,83 @@ class Tracer:
     def __init__(self, clock: "Callable[[], float]" = time.perf_counter):
         self._clock = clock
         self._epoch = clock()
-        self.roots: "List[Span]" = []
+        self._roots: "List[Span]" = []
         self._stack: "List[Span]" = []
+        # Packed span forests adopted but not yet expanded: tuples of
+        # (packed_roots, shift, pid, anchor span or None for the root
+        # level).  See :meth:`adopt_packed`.
+        self._pending: "List[Tuple[tuple, float, Optional[int], Optional[Span]]]" = []
+
+    @property
+    def roots(self) -> "List[Span]":
+        """The recorded top-level spans (pending adoptions expanded)."""
+        if self._pending:
+            self._materialize()
+        return self._roots
 
     def now(self) -> float:
         """Seconds since the tracer's epoch."""
         return self._clock() - self._epoch
 
-    def span(self, name: str, /, **attributes: Any) -> _ActiveSpan:
-        """A context manager recording one nested, timed span."""
-        return _ActiveSpan(self, name, attributes)
+    def span(self, name: str, /, **attributes: Any) -> Span:
+        """A context manager recording one nested, timed span.
 
-    def _begin(self, name: str, attributes: "dict") -> Span:
-        span = Span(name=name, start=self.now(), attributes=dict(attributes))
-        if self._stack:
-            self._stack[-1].children.append(span)
-        else:
-            self.roots.append(span)
-        self._stack.append(span)
-        return span
+        The returned :class:`Span` is bound to this tracer and records
+        itself on ``with``-entry; the kwargs dict is fresh per call, so
+        the span owns it outright (no defensive copy on the hot path).
+        """
+        return Span(name, attributes=attributes, tracer=self)
 
-    def _end(self, span: Span, exc: Optional[BaseException]) -> None:
-        span.end = self.now()
-        if exc is not None:
-            span.status = "error"
-            span.error_type = type(exc).__name__
-            span.error_message = str(exc)
-            span.attributes.setdefault("error", repr(exc))
-        # Tolerate mis-nested exits (e.g. a generator closed late) by
-        # unwinding to the span being closed instead of corrupting the
-        # stack for every subsequent span.
-        while self._stack:
-            if self._stack.pop() is span:
-                break
+    def adopt(self, spans: "Iterable[Span]", shift: float = 0.0) -> None:
+        """Attach externally-recorded span trees to this tracer.
+
+        The roots become children of the currently open span (or new
+        roots when no span is open) — how a worker's telemetry capsule
+        lands under the parent's ``engine.map`` span.  ``shift`` is
+        added to every start/end time so spans recorded against a
+        different epoch (a worker tracer's) line up with this tracer's
+        timeline.
+        """
+        if self._pending:
+            self._materialize()
+        target = self._stack[-1].children if self._stack else self._roots
+        for span in spans:
+            if shift:
+                span.shift(shift)
+            target.append(span)
+
+    def adopt_packed(
+        self,
+        packed_roots: "Iterable[tuple]",
+        shift: float = 0.0,
+        pid: Optional[int] = None,
+    ) -> None:
+        """Adopt packed span trees (see :func:`~repro.obs.spans.pack_span`)
+        without expanding them yet.
+
+        The expansion into :class:`Span` objects — hundreds of
+        allocations per worker capsule — is deferred until the spans
+        are actually read (:attr:`roots` / :meth:`walk`), which for a
+        sweep means export time, not the sweep's critical path.  The
+        currently open span is captured as the anchor so deferred
+        trees still land exactly where an eager :meth:`adopt` would
+        have put them; ``pid`` is stamped on each expanded root.
+        """
+        self._pending.append(
+            (tuple(packed_roots), shift, pid, self._stack[-1] if self._stack else None)
+        )
+
+    def _materialize(self) -> None:
+        """Expand every pending packed forest under its anchor, in
+        adoption order."""
+        pending, self._pending = self._pending, []
+        for packed_roots, shift, pid, anchor in pending:
+            target = anchor.children if anchor is not None else self._roots
+            for packed in packed_roots:
+                root = unpack_span(packed, shift)
+                if pid is not None:
+                    root.attributes.setdefault("pid", pid)
+                target.append(root)
 
     def walk(self) -> "Iterator[Tuple[Span, int]]":
         """Depth-first iteration over every recorded span with its depth."""
@@ -152,8 +186,9 @@ class Tracer:
 
     def clear(self) -> None:
         """Drop all recorded spans (open spans are abandoned)."""
-        self.roots.clear()
+        self._roots.clear()
         self._stack.clear()
+        self._pending.clear()
 
 
 _CURRENT: "NullTracer | Tracer" = NULL_TRACER

@@ -316,7 +316,7 @@ class Portfolio:
         # execution so shared state stays in this process.
         if engine_config.workers > 1:
             engine_config = dataclasses.replace(engine_config, workers=1)
-        outcomes = map_evaluations(tasks, config=engine_config)
+        outcomes = map_evaluations(tasks, config=engine_config, label="portfolio")
         results: "Dict[str, PortfolioAssessment]" = {}
         for outcome in outcomes:
             if outcome.error is not None:

@@ -271,3 +271,91 @@ class TestEngineFlags:
         parallel = capsys.readouterr().out
         assert main(["case-study"]) == 0
         assert capsys.readouterr().out == parallel
+
+
+class TestTelemetryFlags:
+    def test_run_dir_writes_complete_ledger(self, tmp_path, capsys):
+        run_dir = tmp_path / "out"
+        assert main(["optimize", "--run-dir", str(run_dir)]) == 0
+        err = capsys.readouterr().err
+        assert f"run ledger written to {run_dir}" in err
+
+        from repro.obs import RunLedger, read_manifest
+
+        manifest = read_manifest(run_dir)
+        assert manifest["status"] == "ok"
+        assert manifest["command"] == "optimize"
+        assert manifest["argv"] == ["optimize", "--run-dir", str(run_dir)]
+        assert manifest["model_schema_version"].startswith("engine-v")
+        assert manifest["spans"] > 0
+        assert manifest["heartbeats"] > 0
+        assert (run_dir / RunLedger.SPANS).exists()
+        prom = (run_dir / RunLedger.METRICS).read_text()
+        assert prom.endswith("# EOF\n")
+        assert (run_dir / RunLedger.PROGRESS).read_text().strip()
+
+    def test_parallel_run_dir_records_worker_spans(self, tmp_path):
+        import os
+
+        run_dir = tmp_path / "out"
+        assert main(["optimize", "--workers", "2", "--run-dir", str(run_dir)]) == 0
+        records = [
+            json.loads(line)
+            for line in (run_dir / "spans.jsonl").read_text().splitlines()
+            if line
+        ]
+        pids = {
+            r["attributes"]["pid"]
+            for r in records
+            if r["kind"] == "span" and "pid" in r.get("attributes", {})
+        }
+        assert pids and os.getpid() not in pids
+
+    def test_serve_metrics_announces_port_and_stops(self, capsys):
+        from repro import obs
+
+        assert main(["optimize", "--serve-metrics", "0"]) == 0
+        err = capsys.readouterr().err
+        assert "serving telemetry on http://127.0.0.1:" in err
+        assert obs.active_server() is None
+
+    def test_progress_goes_to_stderr(self, capsys):
+        assert main(["optimize", "--progress"]) == 0
+        captured = capsys.readouterr()
+        assert "[optimize]" in captured.err
+        assert "[optimize]" not in captured.out
+
+    def test_stdout_pure_under_full_telemetry(self, tmp_path, capsys):
+        """A parallel run with every telemetry feature on emits exactly
+        the stdout of a plain run — the satellite stdout-purity gate."""
+        assert main(["optimize"]) == 0
+        plain = capsys.readouterr().out
+        run_dir = tmp_path / "out"
+        assert (
+            main(
+                [
+                    "optimize",
+                    "--workers",
+                    "2",
+                    "--progress",
+                    "--run-dir",
+                    str(run_dir),
+                    "--serve-metrics",
+                    "0",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert captured.out == plain
+        assert "serving telemetry" in captured.err
+        assert "[optimize]" in captured.err
+
+    def test_telemetry_flags_leave_globals_clean(self, tmp_path, capsys):
+        from repro import obs
+
+        run_dir = tmp_path / "out"
+        assert main(["optimize", "--run-dir", str(run_dir), "--progress"]) == 0
+        assert obs.get_tracer().enabled is False
+        assert obs.get_metrics().enabled is False
+        assert obs.get_progress().enabled is False
