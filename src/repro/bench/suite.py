@@ -284,3 +284,28 @@ def bench_lint_dimcheck():
         dimcheck.lint_source(source, filename="bench/evaluate.py", allowlist=())
 
     return run
+
+
+@bench(
+    "lint.parcheck",
+    description="interprocedural parallel-safety analysis over the engine package",
+)
+def bench_lint_parcheck():
+    import inspect
+
+    from ..engine import cache, executor, keys, sweep
+    from ..lint import parcheck
+
+    # The whole engine package as one project: real worker-boundary
+    # roots (executor submits chunks) plus the modules reachable from
+    # them — exercises collection, call-graph resolution and the BFS
+    # effect propagation end to end.
+    sources = [
+        (f"bench/{mod.__name__.rsplit('.', 1)[-1]}.py", inspect.getsource(mod))
+        for mod in (executor, sweep, cache, keys)
+    ]
+
+    def run():
+        parcheck.analyze_sources(sources, allowlist=())
+
+    return run

@@ -194,14 +194,38 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Statically check spec files for dependability anti-patterns.
 
-    ``repro lint dim [PATHS]`` instead runs the dimensional dataflow
-    checker (:mod:`repro.lint.dimcheck`) over Python source trees.
+    A leading sub-analyzer name dispatches over Python source instead:
+    ``repro lint dim|code|par [PATHS]`` runs the dimensional dataflow
+    checker, the units/exception code linter, or the parallel-safety
+    analyzer; ``repro lint all [SPEC...] [PATHS...]`` runs everything
+    as one merged pass.  Flags and exit codes match the analyzers'
+    ``python -m repro.lint.<module>`` entry points exactly.
     """
-    if args.specs and args.specs[0] == "dim":
+    sub = args.specs[0] if args.specs else None
+    rest = args.specs[1:]
+    if sub == "dim":
         from .lint.dimcheck import lint_paths
 
-        paths = args.specs[1:] or ["src/repro"]
-        diagnostics = lint_paths(paths, max_pragmas=args.max_pragmas)
+        diagnostics = lint_paths(
+            rest or ["src/repro"], max_pragmas=args.max_pragmas
+        )
+    elif sub == "code":
+        from .lint.codelint import DEFAULT_PATHS, lint_paths
+
+        diagnostics = lint_paths(
+            rest or list(DEFAULT_PATHS), max_pragmas=args.max_pragmas
+        )
+    elif sub == "par":
+        from .lint.parcheck import lint_paths
+
+        diagnostics = lint_paths(
+            rest or ["src/repro"], max_pragmas=args.max_pragmas
+        )
+    elif sub == "all":
+        from .lint.allcheck import lint_targets, split_targets
+
+        specs, paths = split_targets(rest or ["src/repro"])
+        diagnostics = lint_targets(specs, paths, max_pragmas=args.max_pragmas)
     else:
         from .lint.engine import lint_files
 
@@ -452,8 +476,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "specs",
         nargs="+",
-        help="JSON spec files to lint, or `dim [PATHS]` to run the "
-        "dimensional dataflow checker over Python source",
+        help="JSON spec files to lint; or a sub-analyzer over Python "
+        "source: `dim [PATHS]` (dimensional dataflow), `code [PATHS]` "
+        "(units/exception hygiene), `par [PATHS]` (parallel-safety & "
+        "determinism), `all [SPEC...] [PATHS...]` (everything, merged)",
     )
     lint.add_argument(
         "--strict",
@@ -465,7 +491,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="(dim only) fail when more than N allow-dim pragmas exist",
+        help="(dim/code/par/all) fail when an analyzer's pragma count "
+        "exceeds N",
     )
     lint.add_argument(
         "--format",

@@ -193,9 +193,17 @@ class DiskCache:
         # No sort_keys: the payload's own key order is meaningful (an
         # assessments map keeps its scenario input order) and already
         # deterministic.
-        line = json.dumps(record) + "\n"
-        with self.path.open("a", encoding="utf-8") as handle:
-            handle.write(line)
+        data = (json.dumps(record) + "\n").encode("utf-8")
+        # One O_APPEND write syscall per record: concurrent writers
+        # (two engine processes sharing a cache dir) interleave at
+        # record granularity, never mid-line, so the last-wins index
+        # stays parseable.  A buffered open("a") + write() can flush a
+        # large record in several chunks and tear it.
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, data)
+        finally:
+            os.close(fd)
         if self._index is not None:
             self._index[key] = record
         return True

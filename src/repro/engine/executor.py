@@ -273,7 +273,7 @@ def _execute_one_traced(
     return row
 
 
-def _execute_chunk(
+def _execute_chunk(  # lint: worker-boundary
     tasks: "List[EngineTask]",
     timeout: Optional[float],
     ctx: Optional[TraceContext] = None,

@@ -22,6 +22,12 @@ Anything with no deterministic serialization (an open file, a lambda,
 a foreign extension type) raises
 :class:`~repro.exceptions.CacheKeyError`; the engine treats such tasks
 as uncacheable rather than guessing.
+
+The purity assumption itself is enforced statically:
+:mod:`repro.lint.parcheck` (``repro lint par``) propagates inferred
+effects — nondeterminism, global mutation, I/O, unordered iteration —
+from the engine's worker boundaries and fails CI when evaluation code
+breaks the contract this module's keys depend on (DESIGN.md §11).
 """
 
 from __future__ import annotations

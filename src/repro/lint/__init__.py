@@ -16,6 +16,16 @@ model:
   flow-sensitive abstract interpreter inferring bytes/seconds/$ for
   every expression and flagging mismatched arithmetic, arguments and
   returns.
+* **Parallel-safety check** — ``PAR###`` interprocedural effect
+  inference over Python source (:mod:`repro.lint.parcheck`,
+  ``repro lint par``): a project-wide call graph anchored at
+  pool-submission worker boundaries and lock-disciplined shared state,
+  flagging nondeterminism, global mutation/I-O, order-dependent set
+  iteration, lock-discipline violations and pickle-hostile payloads.
+
+``repro lint all`` (:mod:`repro.lint.allcheck`) runs every analyzer —
+design rules over ``.json`` specs, the three code analyzers over
+Python paths — in one pass with a single merged report and exit code.
 
 This package root intentionally imports only the registry, the rules
 and the renderers — never :mod:`repro.lint.engine` — so that

@@ -1,0 +1,100 @@
+"""The umbrella linter: every analyzer, one pass, one exit code.
+
+Run as::
+
+    python -m repro.lint.allcheck examples/specs/*.json src/ --strict
+
+or via the CLI as ``repro lint all [SPEC...] [PATHS...]``.  Targets
+ending in ``.json`` are linted as design specs (the ``DEP###`` rules
+via :mod:`repro.lint.engine`); every other target is treated as a
+Python file or tree and run through all three code analyzers —
+:mod:`repro.lint.codelint` (``UNI``/``EXC``),
+:mod:`repro.lint.dimcheck` (``DIM``) and :mod:`repro.lint.parcheck`
+(``PAR``) — as one merged report.  CI collapses its four lint
+invocations into this single pass: one SARIF/JSON document, one exit
+code.
+
+``--max-pragmas N`` applies the budget to each code analyzer's own
+pragma kind (``allow-raw-unit``, ``allow-dim``, ``allow-par``)
+individually.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from .diagnostics import Diagnostic, exit_code
+from .output import FORMATS, render
+
+
+def split_targets(
+    targets: "Sequence[str]",
+) -> "Tuple[List[str], List[str]]":
+    """``(specs, paths)``: ``.json`` targets are design specs, the
+    rest are Python files/trees."""
+    specs = [target for target in targets if target.endswith(".json")]
+    paths = [target for target in targets if not target.endswith(".json")]
+    return specs, paths
+
+
+def lint_targets(
+    specs: "Sequence[str]",
+    paths: "Sequence[str]",
+    max_pragmas: Optional[int] = None,
+) -> "List[Diagnostic]":
+    """Run every applicable analyzer over the targets, merged."""
+    findings: "List[Diagnostic]" = []
+    if specs:
+        from .engine import lint_files
+
+        findings.extend(lint_files(list(specs)))
+    if paths:
+        from . import codelint, dimcheck, parcheck
+
+        findings.extend(codelint.lint_paths(paths, max_pragmas=max_pragmas))
+        findings.extend(dimcheck.lint_paths(paths, max_pragmas=max_pragmas))
+        findings.extend(parcheck.lint_paths(paths, max_pragmas=max_pragmas))
+    return findings
+
+
+def main(argv: "Optional[Sequence[str]]" = None) -> int:
+    """Entry point for ``python -m repro.lint.allcheck``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.lint.allcheck",
+        description="run design lint + codelint + dimcheck + parcheck "
+        "as one pass",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="*",
+        default=["src/repro"],
+        help="JSON spec files and/or Python files/trees "
+        "(default: src/repro)",
+    )
+    parser.add_argument(
+        "--format", choices=FORMATS, default="human", help="output format"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings also fail",
+    )
+    parser.add_argument(
+        "--max-pragmas",
+        type=int,
+        default=None,
+        metavar="N",
+        help="per-analyzer pragma budget (allow-raw-unit / allow-dim / "
+        "allow-par each get N)",
+    )
+    args = parser.parse_args(argv)
+    specs, paths = split_targets(args.targets)
+    findings = lint_targets(specs, paths, max_pragmas=args.max_pragmas)
+    print(render(findings, args.format))
+    return exit_code(findings, strict=args.strict)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -349,6 +349,12 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         "--format", choices=FORMATS, default="human", help="output format"
     )
     parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings also fail (symmetric with `repro lint code`; "
+        "the UNI/EXC rules are all errors today)",
+    )
+    parser.add_argument(
         "--max-pragmas",
         type=int,
         default=None,
@@ -358,7 +364,7 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
     args = parser.parse_args(argv)
     findings = lint_paths(args.paths, max_pragmas=args.max_pragmas)
     print(render(findings, args.format))
-    return exit_code(findings)
+    return exit_code(findings, strict=args.strict)
 
 
 if __name__ == "__main__":

@@ -719,7 +719,9 @@ class _FileAnalyzer:
     @staticmethod
     def _join_env(left: Env, right: Env) -> Env:
         joined: Env = {}
-        for key in set(left) | set(right):
+        # sorted: the union is a set, and the joined env's key order
+        # must not depend on hash seeding (parcheck PAR003).
+        for key in sorted(set(left) | set(right)):
             joined[key] = _join_value(
                 left.get(key, UNKNOWN), right.get(key, UNKNOWN)
             )

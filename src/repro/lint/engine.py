@@ -176,6 +176,14 @@ def lint_file(path: str) -> "List[Diagnostic]":
         try:
             with open(path) as handle:
                 spec = json.load(handle)
+        except OSError as exc:
+            diagnostics = [
+                make(
+                    "DEP000",
+                    f"spec file is unreadable: {exc}",
+                    hint="check the path and permissions",
+                ).with_file(path)
+            ]
         except json.JSONDecodeError as exc:
             diagnostics = [
                 make(

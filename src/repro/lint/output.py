@@ -36,13 +36,14 @@ _TOOL_NAME = "repro-lint"
 
 
 def all_rule_infos() -> "List[RuleInfo]":
-    """Every known rule: design rules plus both code-rule tables."""
+    """Every known rule: design rules plus the three code-rule tables."""
     infos = list(RULES.values())
-    # runtime imports: codelint and dimcheck render via this module
-    from . import codelint, dimcheck
+    # runtime imports: the code analyzers render via this module
+    from . import codelint, dimcheck, parcheck
 
     infos.extend(codelint.CODE_RULES.values())
     infos.extend(dimcheck.DIM_RULES.values())
+    infos.extend(parcheck.PAR_RULES.values())
     return infos
 
 

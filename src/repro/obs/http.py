@@ -47,7 +47,8 @@ _ACTIVE_LOCK = threading.Lock()
 
 def active_server() -> "Optional[TelemetryServer]":
     """The currently started :class:`TelemetryServer`, if any."""
-    return _ACTIVE
+    with _ACTIVE_LOCK:
+        return _ACTIVE
 
 
 class _TelemetryHTTPServer(ThreadingHTTPServer):

@@ -160,6 +160,52 @@ class TestDiskCache:
         assert not disk.put("k", object())
         assert disk.get("k") is None
 
+    def test_concurrent_writers_never_tear_records(
+        self, tmp_path, workload, scenarios, requirements
+    ):
+        # Regression: two engine processes sharing one cache dir append
+        # to the same results.jsonl.  Buffered text appends can flush a
+        # large record in several chunks, interleaving mid-line and
+        # corrupting the last-wins index; DiskCache.put must append
+        # each record as one O_APPEND write.
+        import multiprocessing
+
+        results = self._results(workload, scenarios, requirements)
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+        per_writer = 20
+        writers = [
+            context.Process(
+                target=_hammer_cache,
+                args=(tmp_path, results, f"writer{n}", per_writer, barrier),
+            )
+            for n in range(2)
+        ]
+        for process in writers:
+            process.start()
+        for process in writers:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        raw = (tmp_path / DiskCache.FILENAME).read_text(encoding="utf-8")
+        lines = [line for line in raw.splitlines() if line]
+        assert len(lines) == 2 * per_writer
+        for line in lines:
+            record = json.loads(line)  # a torn line would raise here
+            assert {"key", "codec", "payload"} <= set(record)
+        disk = DiskCache(tmp_path)
+        for n in range(2):
+            for i in range(per_writer):
+                assert disk.get(f"writer{n}-{i}") is not None
+
+
+def _hammer_cache(cache_dir, results, prefix, count, barrier):
+    """Worker for the concurrent-append regression test (module level
+    so fork/spawn children can resolve it)."""
+    disk = DiskCache(cache_dir)
+    barrier.wait()
+    for i in range(count):
+        disk.put(f"{prefix}-{i}", results)
+
 
 @dataclass(frozen=True)
 class _FlakyTask:
