@@ -309,3 +309,89 @@ def bench_lint_parcheck():
         parcheck.analyze_sources(sources, allowlist=())
 
     return run
+
+
+@bench(
+    "runs.diff",
+    description="structural diff of two synthetic run manifests (in memory)",
+)
+def bench_runs_diff():
+    from ..obs.diff import diff_runs
+    from ..obs.runs import RunRecord
+
+    def node(level, index, slow):
+        name = f"phase{level}.op{index}"
+        children = (
+            [node(level + 1, child, slow) for child in range(3)]
+            if level < 3
+            else []
+        )
+        self_ms = 1.0
+        if slow and level == 3 and index == 1:
+            self_ms += 40.0
+        cum = self_ms + sum(c["cum_ms"] for c in children)
+        return {
+            "name": name,
+            "calls": 4,
+            "cum_ms": cum,
+            "self_ms": self_ms,
+            "errors": 0,
+            "children": children,
+        }
+
+    def flatten(tree_nodes, flat):
+        for entry in tree_nodes:
+            stats = flat.setdefault(
+                entry["name"],
+                {"calls": 0, "cum_ms": 0.0, "self_ms": 0.0, "errors": 0},
+            )
+            stats["calls"] += entry["calls"]
+            stats["cum_ms"] += entry["cum_ms"]
+            stats["self_ms"] += entry["self_ms"]
+            flatten(entry["children"], flat)
+        return flat
+
+    def manifest(slow):
+        tree = [node(1, root, slow) for root in range(3)]
+        return {
+            "manifest_schema": 2,
+            "run_id": "cand" if slow else "base",
+            "command": "optimize",
+            "status": "ok",
+            "started": "2026-01-01T00:00:00Z",
+            "model_schema_version": "engine-v1:bench",
+            "rollup": {
+                "spans": flatten(tree, {}),
+                "tree": tree,
+                "total_ms": sum(entry["cum_ms"] for entry in tree),
+                "span_count": 4 * 39,
+            },
+            "metrics": {
+                "counters": {f"bench.counter.{i}": float(i) for i in range(24)},
+                "gauges": {"bench.inflight": 0.0},
+                "histograms": {
+                    "bench.task.ms": {"count": 128, "total": 512.0}
+                },
+            },
+            "tasks": [
+                {
+                    "task": f"design-{i}",
+                    "label": "array",
+                    "key": f"{i:064x}",
+                    "digest": "e" * 64,
+                    "cached": slow,
+                    "ok": True,
+                    "error_type": None,
+                    "attempts": 1,
+                }
+                for i in range(128)
+            ],
+        }
+
+    base = RunRecord("bench/base", manifest(False))
+    cand = RunRecord("bench/cand", manifest(True))
+
+    def run():
+        diff_runs(base, cand)
+
+    return run

@@ -26,6 +26,15 @@ sweep progress on stderr, and ``--serve-metrics PORT`` serves
 duration of the run.  All telemetry output goes to stderr or files —
 stdout carries only the reports themselves.
 
+The run observatory reads those ledgers back: ``repro runs
+list|show|latest|diff|gc`` indexes every ledger under one
+``--runs-root``, and ``runs diff`` aligns two runs structurally — span
+regressions attributed to the deepest explaining call path, metric
+deltas, and task-level correctness drift (same content-addressed task
+key, different result digest).  ``--fail-on-regression`` turns the
+diff into a CI gate, and ``--baseline RUN`` on the evaluating
+subcommands auto-diffs a fresh ``--run-dir`` ledger at exit.
+
 A spec file looks like::
 
     {
@@ -44,8 +53,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from .casestudy import (
     all_table7_designs,
@@ -62,16 +72,25 @@ from .obs import (
     MetricsRegistry,
     ProgressReporter,
     RunLedger,
+    TaskLog,
     TelemetryServer,
     Tracer,
     set_metrics,
     set_progress,
     set_run_id,
+    set_task_log,
     set_tracer,
     write_openmetrics,
     write_trace_jsonl,
 )
 from .obs import reset as reset_obs
+from .obs.diff import (
+    DEFAULT_ABS_THRESHOLD_MS,
+    DEFAULT_EXPLAIN_FRACTION,
+    DEFAULT_REL_THRESHOLD,
+    diff_runs,
+)
+from .obs.runs import RunRecord, RunStore, resolve_run
 from .reporting.obs_report import (
     metrics_report,
     profile_report,
@@ -376,6 +395,111 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_summary(record: RunRecord) -> "Dict[str, Any]":
+    """One run's JSON summary row (``repro runs list/latest --format json``)."""
+    return {
+        "run_id": record.run_id,
+        "directory": record.directory,
+        "command": record.command,
+        "status": record.status,
+        "started": record.started,
+        "wall_time_s": record.wall_time_s,
+        "manifest_schema": record.manifest_schema,
+        "model_schema_version": record.model_schema_version,
+        "tasks": len(record.tasks()),
+    }
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    """Inspect, compare and prune the run ledgers under a runs root."""
+    from .reporting.runs_report import (
+        run_diff_report,
+        run_show_report,
+        runs_list_report,
+    )
+
+    store = RunStore(args.runs_root)
+    action = args.runs_command
+    as_json = args.format == "json"
+
+    if action == "list":
+        records = store.list(
+            command=args.filter_command, status=args.status, schema=args.schema
+        )
+        if as_json:
+            payload = {
+                "runs": [_run_summary(r) for r in records],
+                "skipped": [
+                    {"directory": directory, "reason": reason}
+                    for directory, reason in store.skipped
+                ],
+            }
+            print(json.dumps(payload, indent=2))
+        else:
+            print(runs_list_report(records, store.skipped))
+        return 0
+
+    if action == "latest":
+        record = store.latest(command=args.filter_command)
+        if record is None:
+            print(f"error: no runs under {store.root!r}", file=sys.stderr)
+            return 1
+        if as_json:
+            print(json.dumps(_run_summary(record), indent=2))
+        else:
+            print(f"{record.run_id}  {record.directory}")
+        return 0
+
+    if action == "show":
+        record = resolve_run(args.run, root=store.root)
+        if as_json:
+            print(json.dumps(record.manifest, indent=2, sort_keys=True))
+        else:
+            print(run_show_report(record))
+        return 0
+
+    if action == "gc":
+        removed = store.gc(args.keep)
+        if as_json:
+            print(json.dumps({"removed": [_run_summary(r) for r in removed]}, indent=2))
+        else:
+            for record in removed:
+                print(f"removed {record.run_id}  {record.directory}")
+            print(f"removed {len(removed)} run(s), kept {args.keep} newest")
+        return 0
+
+    # action == "diff"
+    rel_threshold = (
+        args.fail_on_regression
+        if args.fail_on_regression is not None
+        else args.rel_threshold
+    )
+    diff = diff_runs(
+        resolve_run(args.base, root=store.root),
+        resolve_run(args.cand, root=store.root),
+        rel_threshold=rel_threshold,
+        abs_threshold_ms=args.abs_threshold_ms,
+        explain_fraction=args.explain_fraction,
+    )
+    if args.json_out is not None:
+        with open(args.json_out, "w") as handle:
+            json.dump(diff.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote diff to {args.json_out}", file=sys.stderr)
+    if as_json:
+        print(json.dumps(diff.to_dict(), indent=2))
+    else:
+        print(run_diff_report(diff))
+    if args.fail_on_regression is not None and diff.has_regressions:
+        print(
+            f"FAIL: {len(diff.regressions)} span regression(s) beyond "
+            f"{rel_threshold * 100:.0f}% / {args.abs_threshold_ms:.0f}ms",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     """The shared observability flags of the evaluating subcommands."""
     parser.add_argument(
@@ -427,6 +551,16 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         help="serve /metrics (OpenMetrics), /healthz and /progress on "
         "127.0.0.1:PORT for the duration of the run (0 picks a free "
         "port, announced on stderr)",
+    )
+    parser.add_argument(
+        "--baseline",
+        dest="baseline_run",
+        metavar="RUN",
+        default=None,
+        help="after the run, diff this run against RUN (a ledger "
+        "directory, or a run ID under the new ledger's parent "
+        "directory) and print the attribution report on stderr; "
+        "requires --run-dir",
     )
 
 
@@ -572,6 +706,127 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write this run's records as one JSON document to PATH",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    runs = sub.add_parser(
+        "runs",
+        help="inspect, compare and prune run ledgers (--run-dir outputs)",
+    )
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+
+    def _add_runs_common(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--runs-root",
+            metavar="DIR",
+            default="runs",
+            help="directory whose subdirectories are run ledgers "
+            "(default: %(default)s)",
+        )
+        sub_parser.add_argument(
+            "--format",
+            choices=("human", "json"),
+            default="human",
+            help="output format (default: human)",
+        )
+
+    runs_list = runs_sub.add_parser("list", help="list the indexed runs")
+    runs_list.add_argument(
+        "--command",
+        dest="filter_command",
+        metavar="NAME",
+        default=None,
+        help="only runs of this subcommand (evaluate, optimize, ...)",
+    )
+    runs_list.add_argument(
+        "--status",
+        default=None,
+        help="only runs with this status (ok, error, running)",
+    )
+    runs_list.add_argument(
+        "--schema",
+        metavar="VERSION",
+        default=None,
+        help="only runs with this manifest schema number or model "
+        "schema version prefix",
+    )
+    _add_runs_common(runs_list)
+
+    runs_show = runs_sub.add_parser("show", help="show one run in detail")
+    runs_show.add_argument("run", help="run ID, unique ID prefix, or ledger path")
+    _add_runs_common(runs_show)
+
+    runs_latest = runs_sub.add_parser(
+        "latest", help="print the most recently started run"
+    )
+    runs_latest.add_argument(
+        "--command",
+        dest="filter_command",
+        metavar="NAME",
+        default=None,
+        help="the latest run of this subcommand only",
+    )
+    _add_runs_common(runs_latest)
+
+    runs_diff = runs_sub.add_parser(
+        "diff",
+        help="structurally diff two runs: span regressions with "
+        "deepest-path attribution, metric deltas, correctness drift",
+    )
+    runs_diff.add_argument("base", help="baseline run (ID, prefix, or path)")
+    runs_diff.add_argument("cand", help="candidate run (ID, prefix, or path)")
+    runs_diff.add_argument(
+        "--rel-threshold",
+        type=float,
+        default=DEFAULT_REL_THRESHOLD,
+        metavar="FRACTION",
+        help="a span regresses when it slows by more than this fraction "
+        "of its baseline (default: %(default)s)",
+    )
+    runs_diff.add_argument(
+        "--abs-threshold-ms",
+        type=float,
+        default=DEFAULT_ABS_THRESHOLD_MS,
+        metavar="MS",
+        help="... and by more than this many milliseconds "
+        "(default: %(default)s)",
+    )
+    runs_diff.add_argument(
+        "--explain-fraction",
+        type=float,
+        default=DEFAULT_EXPLAIN_FRACTION,
+        metavar="FRACTION",
+        help="attribution descends into a child explaining at least this "
+        "fraction of its parent's delta (default: %(default)s)",
+    )
+    runs_diff.add_argument(
+        "--fail-on-regression",
+        nargs="?",
+        type=float,
+        const=DEFAULT_REL_THRESHOLD,
+        default=None,
+        metavar="FRACTION",
+        help="exit 1 when any span regresses; the optional FRACTION "
+        "overrides --rel-threshold (bare flag: %(const)s)",
+    )
+    runs_diff.add_argument(
+        "--json-out",
+        metavar="PATH",
+        default=None,
+        help="also write the full diff as one JSON document to PATH",
+    )
+    _add_runs_common(runs_diff)
+
+    runs_gc = runs_sub.add_parser(
+        "gc", help="delete all but the newest N finished runs"
+    )
+    runs_gc.add_argument(
+        "--keep",
+        type=int,
+        required=True,
+        metavar="N",
+        help="number of newest runs to keep (running runs never deleted)",
+    )
+    _add_runs_common(runs_gc)
+    runs.set_defaults(func=_cmd_runs)
     return parser
 
 
@@ -605,12 +860,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         else None
     )
 
+    baseline_run = getattr(args, "baseline_run", None)
+    if baseline_run is not None and run_dir is None:
+        print("error: --baseline requires --run-dir", file=sys.stderr)
+        return 2
+
     ledger: "Optional[RunLedger]" = None
+    task_log: "Optional[TaskLog]" = None
     if run_dir is not None:
         from .engine import model_schema_version
 
         ledger = RunLedger(run_dir, argv=argv if argv is not None else sys.argv[1:])
         set_run_id(ledger.run_id)
+        task_log = TaskLog()
+        set_task_log(task_log)
         ledger.begin(
             extra={
                 "command": getattr(args, "command", None),
@@ -680,7 +943,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if ledger is not None:
             try:
                 ledger.finish(
-                    tracer, registry, status="ok" if code == 0 else "error"
+                    tracer,
+                    registry,
+                    status="ok" if code == 0 else "error",
+                    tasks=task_log.records if task_log is not None else None,
                 )
             except OSError as exc:
                 print(f"error: cannot write run ledger: {exc}", file=sys.stderr)
@@ -690,6 +956,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"(run {ledger.run_id})",
                 file=sys.stderr,
             )
+        if baseline_run is not None and ledger is not None:
+            # Auto-diff the fresh ledger against the named baseline.
+            # On stderr: stdout stays the evaluation report alone.
+            from .reporting.runs_report import run_diff_report
+
+            try:
+                root = os.path.dirname(os.path.abspath(ledger.directory))
+                diff = diff_runs(
+                    resolve_run(baseline_run, root=root),
+                    RunRecord.load(ledger.directory),
+                )
+            except ReproError as exc:
+                print(f"error: cannot diff baseline: {exc}", file=sys.stderr)
+                return 2
+            print(file=sys.stderr)
+            print(run_diff_report(diff), file=sys.stderr)
         return code
     finally:
         if server is not None:

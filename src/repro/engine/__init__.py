@@ -37,7 +37,7 @@ from .executor import (
     shutdown_pool,
     warm_pool,
 )
-from .keys import fingerprint, model_schema_version, task_key
+from .keys import fingerprint, model_schema_version, result_digest, task_key
 from .sweep import evaluate_design_map, evaluate_scenarios_cached
 
 __all__ = [
@@ -54,6 +54,7 @@ __all__ = [
     "map_evaluations",
     "model_schema_version",
     "register_codec",
+    "result_digest",
     "shutdown_pool",
     "task_key",
     "warm_pool",

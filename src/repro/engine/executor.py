@@ -60,11 +60,12 @@ from ..obs.context import (
     merge_capsule,
 )
 from ..obs.progress import get_progress
+from ..obs.runs import get_task_log
 from ..scenarios.failures import FailureScenario
 from ..scenarios.requirements import BusinessRequirements
 from ..workload.spec import Workload
 from .cache import ResultCache
-from .keys import PartMemo, task_key
+from .keys import PartMemo, result_digest, task_key
 
 if TYPE_CHECKING:
     from ..portfolio import Portfolio, PortfolioAssessment
@@ -515,6 +516,7 @@ def map_evaluations(
     metrics = get_metrics()
     tracer = get_tracer()
     progress = get_progress()
+    task_log = get_task_log()
     metrics.set_gauge("engine.workers", config.workers)
     metrics.inc("engine.tasks", len(tasks))
 
@@ -537,6 +539,10 @@ def map_evaluations(
 
         cache_hits = 0
         resolve_failures = 0
+        # Keys are needed by the cache and by the run observatory's
+        # task log (which joins two runs' work items by content key),
+        # so they are computed whenever either consumer is live.
+        want_keys = cache is not None or task_log.enabled
         for index, task in enumerate(tasks):
             try:
                 resolved = task.resolve()
@@ -546,7 +552,7 @@ def map_evaluations(
                 outcomes[index] = TaskOutcome(name=task.name, error=exc)
                 resolve_failures += 1
                 continue
-            if cache is not None:
+            if want_keys:
                 try:
                     key = task_key(resolved.key_payload(), memo)
                 except CacheKeyError:
@@ -554,13 +560,14 @@ def map_evaluations(
                     key = None
                 if key is not None:
                     keys[index] = key
-                    hit, value = cache.get(key)
-                    if hit:
-                        outcomes[index] = TaskOutcome(
-                            name=task.name, value=value, cached=True
-                        )
-                        cache_hits += 1
-                        continue
+                    if cache is not None:
+                        hit, value = cache.get(key)
+                        if hit:
+                            outcomes[index] = TaskOutcome(
+                                name=task.name, value=value, cached=True
+                            )
+                            cache_hits += 1
+                            continue
             pending.append((index, resolved))
         if cache_hits or resolve_failures:
             progress.advance(
@@ -612,6 +619,28 @@ def map_evaluations(
                     cache.put(key, outcome.value)
 
         _record_failures(map_span, outcomes, keys)
+        if task_log.enabled:
+            # One record per task, in input order: the manifest's
+            # ``tasks`` field, joining this run to any other run of the
+            # same work by content key and separating correctness drift
+            # from performance drift by result digest.
+            for index, outcome in enumerate(outcomes):
+                if outcome is None:
+                    continue
+                task_log.record(
+                    task=outcome.name,
+                    label=label,
+                    key=keys[index],
+                    digest=result_digest(outcome.value) if outcome.ok else None,
+                    cached=outcome.cached,
+                    ok=outcome.ok,
+                    error_type=(
+                        None
+                        if outcome.error is None
+                        else type(outcome.error).__name__
+                    ),
+                    attempts=outcome.attempts,
+                )
         final = [outcome for outcome in outcomes if outcome is not None]
         if len(final) != len(tasks):
             raise EngineError("engine lost track of a task outcome")

@@ -39,8 +39,9 @@ from dataclasses import fields, is_dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..core.results import Assessment
 from ..exceptions import CacheKeyError
-from ..serialization import canonical_json
+from ..serialization import assessment_to_dict, canonical_json
 
 #: Bumped manually on cache-layout changes that the source digest does
 #: not capture (e.g. a new fingerprint encoding).
@@ -197,6 +198,35 @@ def part_digest(obj: Any, memo: Optional[PartMemo] = None) -> str:
     if memo is not None:
         memo[id(obj)] = (obj, digest)
     return digest
+
+
+def result_digest(value: Any) -> Optional[str]:
+    """A content digest of one task result, or None if undigestable.
+
+    The digest covers the *outputs* of an evaluation — the assessment
+    record of every scenario, minus the provenance block (whose
+    wall-clock phase timings legitimately differ between two runs of
+    the same work).  Two runs producing the same digest for the same
+    task key therefore computed the same answer; a differing digest
+    under an equal key is correctness drift, however fast or slow the
+    runs were.  Result shapes without a canonical serialization (e.g.
+    portfolio assessments holding live device state) return None —
+    "not comparable", never a guessed hash.
+    """
+    if not isinstance(value, dict) or not value:
+        return None
+    encoded: "Dict[str, Any]" = {}
+    for label, assessment in sorted(value.items()):
+        if not isinstance(label, str) or not isinstance(assessment, Assessment):
+            return None
+        record = assessment_to_dict(assessment)
+        record.pop("provenance", None)
+        encoded[label] = record
+    try:
+        body = canonical_json(encoded)
+    except (TypeError, ValueError):
+        return None
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
 
 def task_key(payload: Any, memo: Optional[PartMemo] = None) -> str:

@@ -94,16 +94,38 @@ from .progress import (
     set_progress,
     use_progress,
 )
-from .ledger import RunLedger, read_manifest
+from .ledger import MANIFEST_SCHEMA, ManifestError, RunLedger, read_manifest, span_rollup
 from .http import TelemetryServer, active_server
+from .runs import (
+    NULL_TASK_LOG,
+    NullTaskLog,
+    RunLookupError,
+    RunRecord,
+    RunStore,
+    TaskLog,
+    get_task_log,
+    resolve_run,
+    set_task_log,
+    use_task_log,
+)
+from .diff import (
+    Attribution,
+    MetricDelta,
+    RunDiff,
+    SpanDelta,
+    TaskDrift,
+    diff_runs,
+)
 
 
 def reset() -> None:
-    """Restore the no-op defaults: tracer, metrics, progress, run ID."""
+    """Restore the no-op defaults: tracer, metrics, progress, run ID,
+    task log."""
     set_tracer(None)
     set_metrics(None)
     set_progress(None)
     set_run_id(None)
+    set_task_log(None)
 
 
 __all__ = [
@@ -151,9 +173,28 @@ __all__ = [
     "get_progress",
     "set_progress",
     "use_progress",
+    "MANIFEST_SCHEMA",
+    "ManifestError",
     "RunLedger",
     "read_manifest",
+    "span_rollup",
     "TelemetryServer",
     "active_server",
+    "NullTaskLog",
+    "NULL_TASK_LOG",
+    "TaskLog",
+    "get_task_log",
+    "set_task_log",
+    "use_task_log",
+    "RunLookupError",
+    "RunRecord",
+    "RunStore",
+    "resolve_run",
+    "Attribution",
+    "MetricDelta",
+    "RunDiff",
+    "SpanDelta",
+    "TaskDrift",
+    "diff_runs",
     "reset",
 ]

@@ -100,6 +100,16 @@ def _metric_name(name: str) -> str:
     return sanitized
 
 
+def prom_metric_name(name: str) -> str:
+    """The exposition name an instrument appears under in ``.prom``.
+
+    The public face of the sanitizer: :mod:`repro.obs.diff` normalizes
+    through it so a v2 manifest's dotted instrument names compare equal
+    to the sanitized names recovered from a v1 ledger's ``metrics.prom``.
+    """
+    return _metric_name(name)
+
+
 def _format_value(value: float) -> str:
     """A float rendered the way Prometheus parsers expect."""
     if value != value:  # NaN
@@ -134,14 +144,24 @@ def _histogram_lines(name: str, histogram: Histogram) -> "List[str]":
     return lines
 
 
-def openmetrics_text(registry: MetricsRegistry) -> str:
+def openmetrics_text(
+    registry: MetricsRegistry, run_id: Optional[str] = None
+) -> str:
     """The registry in OpenMetrics/Prometheus text exposition format.
 
     Instrument names are sanitized (``evaluate.calls`` becomes
     ``evaluate_calls``), counters gain the ``_total`` sample suffix,
     and the exposition ends with the OpenMetrics ``# EOF`` marker.
+
+    With a ``run_id``, the exposition opens with an ``info``-style
+    metric — ``repro_run_info{run_id="..."} 1`` — so scraped series
+    can be joined back to the run ledger directory that archived them.
     """
     lines: "List[str]" = []
+    if run_id is not None:
+        escaped = run_id.replace("\\", "\\\\").replace('"', '\\"')
+        lines.append("# TYPE repro_run info")
+        lines.append(f'repro_run_info{{run_id="{escaped}"}} 1')
     for name, counter in sorted(registry.counters.items()):
         metric = _metric_name(name)
         lines.append(f"# TYPE {metric} counter")
@@ -157,10 +177,12 @@ def openmetrics_text(registry: MetricsRegistry) -> str:
 
 
 def write_openmetrics(
-    destination: "Union[str, IO[str]]", registry: MetricsRegistry
+    destination: "Union[str, IO[str]]",
+    registry: MetricsRegistry,
+    run_id: Optional[str] = None,
 ) -> int:
     """Write the OpenMetrics exposition; returns the character count."""
-    text = openmetrics_text(registry)
+    text = openmetrics_text(registry, run_id=run_id)
     if isinstance(destination, str):
         with open(destination, "w") as handle:
             handle.write(text)

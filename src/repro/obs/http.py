@@ -68,7 +68,9 @@ class _Handler(BaseHTTPRequestHandler):
         telemetry = self.server.telemetry  # type: ignore[attr-defined]
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         if path == "/metrics":
-            body = openmetrics_text(telemetry.registry_now())
+            body = openmetrics_text(
+                telemetry.registry_now(), run_id=telemetry.run_id
+            )
             self._reply(200, OPENMETRICS_CONTENT_TYPE, body.encode("utf-8"))
         elif path == "/healthz":
             payload = {"status": "ok", "run_id": telemetry.run_id}

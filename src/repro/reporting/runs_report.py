@@ -1,0 +1,172 @@
+"""Human rendering of the run observatory: list, show and diff reports.
+
+The ``repro runs`` subcommands' ``--format human`` output.  Pure
+string-building over loaded :class:`~repro.obs.runs.RunRecord` and
+:class:`~repro.obs.diff.RunDiff` objects — the JSON format bypasses
+this module entirely.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..obs.diff import RunDiff
+from ..obs.runs import RunRecord
+from .tables import Table
+
+
+def _fmt_ms(value: float) -> str:
+    return f"{value:.1f}"
+
+
+def _fmt_delta_ms(value: float) -> str:
+    return f"{value:+.1f}"
+
+
+def runs_list_report(
+    records: "List[RunRecord]",
+    skipped: "Optional[List[Tuple[str, str]]]" = None,
+) -> str:
+    """The ``repro runs list`` table: one row per indexed run."""
+    table = Table(
+        headers=["run", "command", "status", "started", "wall s", "schema"],
+        align=["l", "l", "l", "l", "r", "r"],
+        title=f"Runs ({len(records)})",
+    )
+    for record in records:
+        wall = record.wall_time_s
+        table.add_row(
+            record.run_id,
+            record.command or "-",
+            record.status,
+            record.started or "-",
+            "-" if wall is None else f"{wall:.2f}",
+            record.manifest_schema,
+        )
+    lines = [table.render()]
+    for directory, reason in skipped or []:
+        lines.append(f"skipped {directory}: {reason}")
+    return "\n".join(lines)
+
+
+def run_show_report(record: RunRecord, top: int = 10) -> str:
+    """The ``repro runs show`` view: header lines + hottest spans."""
+    lines = [
+        f"run:      {record.run_id}",
+        f"dir:      {record.directory}",
+        f"command:  {record.command or '-'}",
+        f"status:   {record.status}",
+        f"started:  {record.started or '-'}",
+        f"wall:     "
+        + ("-" if record.wall_time_s is None else f"{record.wall_time_s:.2f}s"),
+        f"schema:   manifest v{record.manifest_schema}, model "
+        + (record.model_schema_version or "-"),
+        f"tasks:    {len(record.tasks())} recorded",
+    ]
+    stats = record.span_stats()
+    if stats:
+        table = Table(
+            headers=["span", "calls", "cum ms", "self ms", "errors"],
+            title=f"Hottest spans (top {min(top, len(stats))} of {len(stats)})",
+        )
+        hottest = sorted(
+            stats.items(),
+            key=lambda item: -float(item[1].get("cum_ms", 0.0)),
+        )[:top]
+        for name, entry in hottest:
+            table.add_row(
+                name,
+                entry.get("calls", 0),
+                _fmt_ms(float(entry.get("cum_ms", 0.0))),
+                _fmt_ms(float(entry.get("self_ms", 0.0))),
+                entry.get("errors", 0),
+            )
+        lines.append("")
+        lines.append(table.render())
+    counters = record.metrics().get("counters", {})
+    if counters:
+        table = Table(headers=["counter", "value"], title="Counters")
+        for name in sorted(counters):
+            table.add_row(name, counters[name])
+        lines.append("")
+        lines.append(table.render())
+    return "\n".join(lines)
+
+
+def run_diff_report(diff: RunDiff, top: int = 10) -> str:
+    """The ``repro runs diff`` view: verdict first, then the evidence."""
+    lines = [
+        f"base: {diff.base_run_id} ({diff.base_command or '-'}, "
+        f"{_fmt_ms(diff.base_total_ms)}ms traced)",
+        f"cand: {diff.cand_run_id} ({diff.cand_command or '-'}, "
+        f"{_fmt_ms(diff.cand_total_ms)}ms traced)",
+        f"total: {_fmt_delta_ms(diff.total_delta_ms)}ms",
+    ]
+    if diff.schema_mismatch:
+        lines.append(
+            "WARNING: model schema versions differ "
+            f"({diff.base_model_version} vs {diff.cand_model_version}) — "
+            "task keys are incomparable; span/metric deltas remain valid"
+        )
+
+    if diff.regressions:
+        lines.append("")
+        lines.append(f"REGRESSIONS ({len(diff.regressions)}):")
+        for attribution in diff.regressions:
+            lines.append(f"  {attribution.describe()}")
+    else:
+        lines.append("no span regressions")
+
+    if diff.correctness_drift:
+        lines.append("")
+        lines.append(f"CORRECTNESS DRIFT ({len(diff.correctness_drift)}):")
+        for drift in diff.correctness_drift:
+            label = f" [{drift.label}]" if drift.label else ""
+            lines.append(
+                f"  {drift.task}{label} key={drift.key[:12]}… "
+                f"{drift.base_digest[:12]}… → {drift.cand_digest[:12]}…"
+            )
+    else:
+        lines.append("no correctness drift")
+
+    lines.append(
+        f"tasks: {diff.matched_tasks} matched, {len(diff.tasks_added)} added, "
+        f"{len(diff.tasks_removed)} removed, {len(diff.newly_cached)} newly "
+        f"cached, {len(diff.newly_uncached)} newly uncached"
+    )
+
+    moved = [d for d in diff.span_deltas if d.delta_cum_ms != 0.0][:top]
+    if moved:
+        table = Table(
+            headers=["span", "Δ cum ms", "Δ self ms", "base ms", "cand ms", ""],
+            title=f"Largest span moves (top {len(moved)})",
+            align=["l", "r", "r", "r", "r", "l"],
+        )
+        for delta in moved:
+            table.add_row(
+                delta.name,
+                _fmt_delta_ms(delta.delta_cum_ms),
+                _fmt_delta_ms(delta.delta_self_ms),
+                _fmt_ms(delta.base_cum_ms),
+                _fmt_ms(delta.cand_cum_ms),
+                "" if delta.status == "common" else delta.status,
+            )
+        lines.append("")
+        lines.append(table.render())
+
+    changed_counters = [d for d in diff.counter_deltas if d.delta != 0.0]
+    if changed_counters:
+        table = Table(
+            headers=["counter", "base", "cand", "Δ"],
+            title="Changed counters",
+        )
+        for metric in changed_counters:
+            table.add_row(
+                metric.name,
+                "-" if metric.base is None else metric.base,
+                "-" if metric.cand is None else metric.cand,
+                f"{metric.delta:+g}",
+            )
+        lines.append("")
+        lines.append(table.render())
+    return "\n".join(lines)
