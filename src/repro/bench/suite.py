@@ -312,6 +312,30 @@ def bench_lint_parcheck():
 
 
 @bench(
+    "lint.exncheck",
+    description="interprocedural exception-flow analysis over the engine package",
+)
+def bench_lint_exncheck():
+    import inspect
+
+    from ..engine import cache, executor, keys, sweep
+    from ..lint import exncheck
+
+    # The same project parcheck benchmarks: real worker-boundary roots
+    # plus real try/except structure — exercises summary construction,
+    # the escape-set fixpoint and the handler/pickling rules end to end.
+    sources = [
+        (f"bench/{mod.__name__.rsplit('.', 1)[-1]}.py", inspect.getsource(mod))
+        for mod in (executor, sweep, cache, keys)
+    ]
+
+    def run():
+        exncheck.analyze_sources(sources, allowlist=())
+
+    return run
+
+
+@bench(
     "runs.diff",
     description="structural diff of two synthetic run manifests (in memory)",
 )

@@ -214,10 +214,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     """Statically check spec files for dependability anti-patterns.
 
     A leading sub-analyzer name dispatches over Python source instead:
-    ``repro lint dim|code|par [PATHS]`` runs the dimensional dataflow
-    checker, the units/exception code linter, or the parallel-safety
-    analyzer; ``repro lint all [SPEC...] [PATHS...]`` runs everything
-    as one merged pass.  Flags and exit codes match the analyzers'
+    ``repro lint dim|code|par|exn [PATHS]`` runs the dimensional
+    dataflow checker, the units/exception code linter, the
+    parallel-safety analyzer, or the exception-flow analyzer;
+    ``repro lint all [SPEC...] [PATHS...]`` runs everything as one
+    merged pass.  Flags and exit codes match the analyzers'
     ``python -m repro.lint.<module>`` entry points exactly.
     """
     sub = args.specs[0] if args.specs else None
@@ -236,6 +237,12 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         )
     elif sub == "par":
         from .lint.parcheck import lint_paths
+
+        diagnostics = lint_paths(
+            rest or ["src/repro"], max_pragmas=args.max_pragmas
+        )
+    elif sub == "exn":
+        from .lint.exncheck import lint_paths
 
         diagnostics = lint_paths(
             rest or ["src/repro"], max_pragmas=args.max_pragmas
@@ -613,7 +620,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON spec files to lint; or a sub-analyzer over Python "
         "source: `dim [PATHS]` (dimensional dataflow), `code [PATHS]` "
         "(units/exception hygiene), `par [PATHS]` (parallel-safety & "
-        "determinism), `all [SPEC...] [PATHS...]` (everything, merged)",
+        "determinism), `exn [PATHS]` (exception-flow contract), "
+        "`all [SPEC...] [PATHS...]` (everything, merged)",
     )
     lint.add_argument(
         "--strict",
@@ -625,8 +633,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         metavar="N",
-        help="(dim/code/par/all) fail when an analyzer's pragma count "
-        "exceeds N",
+        help="(dim/code/par/exn/all) fail when an analyzer's pragma "
+        "count exceeds N",
     )
     lint.add_argument(
         "--format",

@@ -29,7 +29,7 @@ from __future__ import annotations
 import re
 from typing import List, Optional, Tuple
 
-from ..exceptions import DesignError
+from ..exceptions import DesignError, ReproError
 from ..lint.diagnostics import Diagnostic, Severity
 from ..lint.registry import RuleContext, run_rules
 from ..lint.rules import cycle_period_of, retention_count_of  # noqa: F401
@@ -85,10 +85,11 @@ def validate_design(
         for level in design.levels:
             try:
                 level.technique.validate(workload)
-            # Reporting boundary: each technique's validate may raise any
-            # framework or modeling error; all are collected so the caller
-            # sees every level's problem in one report.
-            except Exception as exc:  # lint: allow-broad-except
+            # Reporting boundary: every modeling error a technique's
+            # validate raises is a ReproError; all are collected so the
+            # caller sees every level's problem in one report.  Anything
+            # else is a programming mistake and must propagate.
+            except ReproError as exc:
                 errors.append(f"level {level.index}: {exc}")
 
     if errors and strict:

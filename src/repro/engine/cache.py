@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..core.results import Assessment
-from ..exceptions import EngineError
+from ..exceptions import EngineError, ReproError
 from ..obs import get_metrics
 from ..serialization import assessment_from_dict, assessment_to_dict
 
@@ -178,9 +178,12 @@ class DiskCache:
             return None
         try:
             return codec.decode(record["payload"])
-        except Exception:  # lint: allow-broad-except
-            # A record the current model cannot rebuild (schema digest
-            # collisions are the only path here) degrades to a miss.
+        # A record the current model cannot rebuild (schema digest
+        # collisions are the only path here) degrades to a miss:
+        # ReproError covers the codec's own validation, the rest are
+        # the shapes a stale/corrupt JSON payload produces.  A bug in
+        # the codec itself must propagate, not masquerade as a miss.
+        except (ReproError, ValueError, TypeError, KeyError, AttributeError):
             get_metrics().inc("engine.cache.corrupt_records")
             return None
 

@@ -1,6 +1,6 @@
 """Static analysis for designs and code (no evaluation involved).
 
-Three targets share one :class:`~repro.lint.diagnostics.Diagnostic`
+Five analyzers share one :class:`~repro.lint.diagnostics.Diagnostic`
 model:
 
 * **Design lint** — ``DEP###`` rules over a
@@ -22,9 +22,16 @@ model:
   pool-submission worker boundaries and lock-disciplined shared state,
   flagging nondeterminism, global mutation/I-O, order-dependent set
   iteration, lock-discipline violations and pickle-hostile payloads.
+* **Exception-flow check** — ``EXN###`` interprocedural escape-set
+  analysis over Python source (:mod:`repro.lint.exncheck`,
+  ``repro lint exn``): a fixpoint over the same call graph computing
+  which exception types can escape each function, flagging
+  unpicklable worker-reachable errors, broad handlers that absorb
+  :class:`~repro.exceptions.ReproError`, non-framework leaks from the
+  public API, provably dead handlers and chain-dropping re-raises.
 
 ``repro lint all`` (:mod:`repro.lint.allcheck`) runs every analyzer —
-design rules over ``.json`` specs, the three code analyzers over
+design rules over ``.json`` specs, the four code analyzers over
 Python paths — in one pass with a single merged report and exit code.
 
 This package root intentionally imports only the registry, the rules

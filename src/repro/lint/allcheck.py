@@ -7,16 +7,16 @@ Run as::
 or via the CLI as ``repro lint all [SPEC...] [PATHS...]``.  Targets
 ending in ``.json`` are linted as design specs (the ``DEP###`` rules
 via :mod:`repro.lint.engine`); every other target is treated as a
-Python file or tree and run through all three code analyzers —
+Python file or tree and run through all four code analyzers —
 :mod:`repro.lint.codelint` (``UNI``/``EXC``),
-:mod:`repro.lint.dimcheck` (``DIM``) and :mod:`repro.lint.parcheck`
-(``PAR``) — as one merged report.  CI collapses its four lint
-invocations into this single pass: one SARIF/JSON document, one exit
-code.
+:mod:`repro.lint.dimcheck` (``DIM``), :mod:`repro.lint.parcheck`
+(``PAR``) and :mod:`repro.lint.exncheck` (``EXN``) — as one merged
+report.  CI collapses its lint invocations into this single pass: one
+SARIF/JSON document, one exit code.
 
 ``--max-pragmas N`` applies the budget to each code analyzer's own
-pragma kind (``allow-raw-unit``, ``allow-dim``, ``allow-par``)
-individually.
+pragma kind (``allow-raw-unit``, ``allow-dim``, ``allow-par``,
+``allow-exn``) individually.
 """
 
 from __future__ import annotations
@@ -51,11 +51,12 @@ def lint_targets(
 
         findings.extend(lint_files(list(specs)))
     if paths:
-        from . import codelint, dimcheck, parcheck
+        from . import codelint, dimcheck, exncheck, parcheck
 
         findings.extend(codelint.lint_paths(paths, max_pragmas=max_pragmas))
         findings.extend(dimcheck.lint_paths(paths, max_pragmas=max_pragmas))
         findings.extend(parcheck.lint_paths(paths, max_pragmas=max_pragmas))
+        findings.extend(exncheck.lint_paths(paths, max_pragmas=max_pragmas))
     return findings
 
 
@@ -64,7 +65,7 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.lint.allcheck",
         description="run design lint + codelint + dimcheck + parcheck "
-        "as one pass",
+        "+ exncheck as one pass",
     )
     parser.add_argument(
         "targets",
@@ -87,7 +88,7 @@ def main(argv: "Optional[Sequence[str]]" = None) -> int:
         default=None,
         metavar="N",
         help="per-analyzer pragma budget (allow-raw-unit / allow-dim / "
-        "allow-par each get N)",
+        "allow-par / allow-exn each get N)",
     )
     args = parser.parse_args(argv)
     specs, paths = split_targets(args.targets)

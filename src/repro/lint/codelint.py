@@ -82,6 +82,11 @@ CODE_RULES: "Dict[str, RuleInfo]" = {
 RAW_UNIT_PRAGMA = "lint: allow-raw-unit"
 BROAD_EXCEPT_PRAGMA = "lint: allow-broad-except"
 
+#: The exception-flow family pragma (exncheck's ``ALLOW_EXN_PRAGMA``):
+#: a site sanctioned for exception-flow analysis is sanctioned for the
+#: syntactic broad-except rule too, so one comment covers the family.
+EXN_FAMILY_PRAGMA = "lint: allow-exn"
+
 #: Files the UNI rules never apply to: the module that *defines* the
 #: magnitudes, and this checker (which must name them to detect them).
 DEFAULT_ALLOWLIST = ("repro/units.py", "repro/lint/codelint.py")
@@ -157,6 +162,10 @@ def _broad_handler_name(handler: ast.ExceptHandler) -> Optional[str]:
     for node in nodes:
         if isinstance(node, ast.Name) and node.id in _BROAD_NAMES:
             return node.id
+        # The dotted spelling (`except builtins.BaseException:`) is the
+        # same handler wearing a costume.
+        if isinstance(node, ast.Attribute) and node.attr in _BROAD_NAMES:
+            return node.attr
     return None
 
 
@@ -241,8 +250,10 @@ class _Checker(ast.NodeVisitor):
 
     def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
         broad = _broad_handler_name(node)
-        if broad is not None and not _has_pragma(
-            self.lines, node.lineno, BROAD_EXCEPT_PRAGMA
+        if (
+            broad is not None
+            and not _has_pragma(self.lines, node.lineno, BROAD_EXCEPT_PRAGMA)
+            and not _has_pragma(self.lines, node.lineno, EXN_FAMILY_PRAGMA)
         ):
             self._emit(
                 "EXC001",

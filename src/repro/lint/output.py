@@ -36,14 +36,15 @@ _TOOL_NAME = "repro-lint"
 
 
 def all_rule_infos() -> "List[RuleInfo]":
-    """Every known rule: design rules plus the three code-rule tables."""
+    """Every known rule: design rules plus the four code-rule tables."""
     infos = list(RULES.values())
     # runtime imports: the code analyzers render via this module
-    from . import codelint, dimcheck, parcheck
+    from . import codelint, dimcheck, exncheck, parcheck
 
     infos.extend(codelint.CODE_RULES.values())
     infos.extend(dimcheck.DIM_RULES.values())
     infos.extend(parcheck.PAR_RULES.values())
+    infos.extend(exncheck.EXN_RULES.values())
     return infos
 
 

@@ -100,10 +100,26 @@ from __future__ import annotations
 import argparse
 import ast
 import sys
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..obs import get_metrics
+from .callgraph import (
+    COMMON_METHOD_NAMES,
+    FUNC_NODES as _FUNC_NODES,
+    SUBMIT_METHODS,
+    WORKER_BOUNDARY_MARKER,
+    AttrAccess,
+    CallRef,
+    ClassInfo,
+    Effect,
+    FuncNode,
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    SubmitSite,
+    dotted_chain as _dotted_chain,
+    local_names as _local_names,
+)
 from .diagnostics import Diagnostic, Severity, exit_code
 from .output import FORMATS, render
 from .registry import RuleInfo
@@ -159,10 +175,6 @@ PAR_RULES: "Dict[str, RuleInfo]" = {
 }
 
 ALLOW_PAR_PRAGMA = "lint: allow-par"
-
-#: Marks a function as a worker boundary even when no ``.submit`` call
-#: site is visible to the analyzer (the engine marks ``_execute_chunk``).
-WORKER_BOUNDARY_MARKER = "lint: worker-boundary"
 
 #: Files the checker never applies to: this analyzer itself (its stub
 #: tables and corpus snippets name the very patterns it flags).
@@ -271,61 +283,6 @@ MUTATOR_METHODS = frozenset(
     }
 )
 
-#: Pool-submission method names whose first argument is the callable.
-SUBMIT_METHODS = frozenset({"submit", "apply_async", "map"})
-
-#: Container-protocol names excluded from the CHA union: binding
-#: ``d.get(...)`` to every ``get`` method in the tree would wire the
-#: whole project together through dict lookups.
-COMMON_METHOD_NAMES = frozenset(
-    {
-        "get",
-        "put",
-        "set",
-        "add",
-        "pop",
-        "update",
-        "append",
-        "extend",
-        "insert",
-        "remove",
-        "discard",
-        "clear",
-        "keys",
-        "values",
-        "items",
-        "copy",
-        "sort",
-        "reverse",
-        "count",
-        "index",
-        "join",
-        "split",
-        "strip",
-        "startswith",
-        "endswith",
-        "format",
-        "encode",
-        "decode",
-        "read",
-        "write",
-        "close",
-        "open",
-        "exists",
-        "mkdir",
-        "touch",
-        "setdefault",
-        "group",
-        "match",
-        "search",
-        "sub",
-        "inc",
-        "observe",
-        "describe",
-        "render",
-    }
-)
-
 #: Call names whose result/argument order does not depend on iteration
 #: order: they launder PAR003 taint.
 ORDER_LAUNDERING = frozenset(
@@ -348,354 +305,20 @@ ORDER_SINK_CALLS = frozenset(
 #: Method-call sinks for PAR003.
 ORDER_SINK_METHODS = frozenset({"join", "write", "writelines"})
 
-_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
-FuncNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
-
-
-# ---------------------------------------------------------------------------
-# Project model.
-# ---------------------------------------------------------------------------
-
-
-@dataclass
-class Effect:
-    """One direct effect observed in a function body."""
-
-    kind: str  # "nondet" | "global" | "io"
-    detail: str
-    line: int
-    column: int
-    node: ast.AST
-
-
-@dataclass
-class CallRef:
-    """One unresolved outgoing call edge."""
-
-    kind: str  # "name" | "attr"
-    name: str
-    dotted: Optional[str] = None
-    recv_class: Optional[str] = None
-
-
-@dataclass
-class AttrAccess:
-    """One ``self.X`` (or module-global) access for lock analysis."""
-
-    name: str
-    write: bool
-    locked: bool
-    node: ast.AST
-    where: str  # the method/function the access sits in
-
-
-@dataclass
-class FunctionInfo:
-    """One function or method in the project."""
-
-    qualname: str
-    name: str
-    module: "ModuleInfo"
-    node: FuncNode
-    cls: Optional[str] = None
-    parent: "Optional[FunctionInfo]" = None
-    is_boundary: bool = False
-    effects: "List[Effect]" = field(default_factory=list)
-    calls: "List[CallRef]" = field(default_factory=list)
-    children: "Dict[str, FunctionInfo]" = field(default_factory=dict)
-    resolved: "List[FunctionInfo]" = field(default_factory=list)
-
-
-@dataclass
-class ClassInfo:
-    """One class: its methods, bases and lock attributes."""
-
-    name: str
-    module: "ModuleInfo"
-    methods: "Dict[str, FunctionInfo]" = field(default_factory=dict)
-    bases: "List[str]" = field(default_factory=list)
-    lock_attrs: "Set[str]" = field(default_factory=set)
-    accesses: "List[AttrAccess]" = field(default_factory=list)
-
-
-@dataclass
-class SubmitSite:
-    """One pool-submission call site."""
-
-    call: ast.Call
-    func: "Optional[FunctionInfo]"  # the enclosing function
-    module: "ModuleInfo"
-
-
-@dataclass
-class ModuleInfo:
-    """One parsed file of the project."""
-
-    filename: str
-    modname: str
-    tree: ast.Module
-    lines: "Sequence[str]"
-    sanctioned: bool
-    imports: "Dict[str, str]" = field(default_factory=dict)
-    global_names: "Set[str]" = field(default_factory=set)
-    module_locks: "Set[str]" = field(default_factory=set)
-    functions: "Dict[str, FunctionInfo]" = field(default_factory=dict)
-    classes: "Dict[str, ClassInfo]" = field(default_factory=dict)
-    global_accesses: "List[AttrAccess]" = field(default_factory=list)
-    pragma_lines: "Set[int]" = field(default_factory=set)
-    used_pragma_lines: "Set[int]" = field(default_factory=set)
-
-
-def _module_name(filename: str) -> str:
-    """The dotted module name a project file provides.
-
-    ``src/repro/engine/executor.py`` → ``repro.engine.executor``; files
-    outside a recognizable package root fall back to their stem.
-    """
-    normalized = filename.replace("\\", "/")
-    if normalized.endswith(".py"):
-        normalized = normalized[: -len(".py")]
-    parts = [part for part in normalized.split("/") if part not in ("", ".")]
-    if parts and parts[-1] == "__init__":
-        parts = parts[:-1]
-    for anchor in ("repro", "src"):
-        if anchor in parts:
-            index = parts.index(anchor)
-            if anchor == "src":
-                index += 1
-            tail = parts[index:]
-            if tail:
-                return ".".join(tail)
-    return parts[-1] if parts else "<module>"
-
 
 def _is_sanctioned(filename: str) -> bool:
     normalized = filename.replace("\\", "/")
     return any(fragment in normalized for fragment in SANCTIONED_PATHS)
 
 
-def _dotted_chain(node: ast.expr) -> "Optional[List[str]]":
-    """``a.b.c`` as ``["a", "b", "c"]``, or None for non-name chains."""
-    parts: "List[str]" = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        parts.reverse()
-        return parts
-    return None
-
-
-def _is_lock_value(node: ast.expr) -> bool:
-    """Is ``node`` a ``threading.Lock()`` / ``RLock()`` construction?"""
-    if not isinstance(node, ast.Call):
-        return False
-    chain = _dotted_chain(node.func)
-    if chain and chain[-1] in ("Lock", "RLock"):
-        return True
-    # dataclasses.field(default_factory=threading.Lock)
-    if chain and chain[-1] == "field":
-        for keyword in node.keywords:
-            if keyword.arg == "default_factory":
-                inner = _dotted_chain(keyword.value)
-                if inner and inner[-1] in ("Lock", "RLock"):
-                    return True
-    return False
-
-
-def _is_lock_annotation(node: "Optional[ast.expr]") -> bool:
-    if node is None:
-        return False
-    chain = _dotted_chain(node)
-    if chain and chain[-1] in ("Lock", "RLock"):
-        return True
-    if isinstance(node, ast.Constant) and isinstance(node.value, str):
-        return node.value.endswith(("Lock", "RLock"))
-    return False
-
-
-# ---------------------------------------------------------------------------
-# Discovery: one file → ModuleInfo (symbols, locks, function tree).
-# ---------------------------------------------------------------------------
-
-
-class _ModuleCollector:
-    """Builds the :class:`ModuleInfo` symbol table for one file."""
-
-    def __init__(self, filename: str, source: str, tree: ast.Module) -> None:
-        lines = source.splitlines()
-        self.module = ModuleInfo(
-            filename=filename,
-            modname=_module_name(filename),
-            tree=tree,
-            lines=lines,
-            sanctioned=_is_sanctioned(filename),
-            pragma_lines={
-                number
-                for number, line in enumerate(lines, 1)
-                if ALLOW_PAR_PRAGMA in line
-            },
-        )
-
-    def collect(self) -> ModuleInfo:
-        module = self.module
-        self._collect_imports(module.tree)
-        for node in module.tree.body:
-            if isinstance(node, ast.Assign):
-                for target in node.targets:
-                    if isinstance(target, ast.Name):
-                        module.global_names.add(target.id)
-                        if _is_lock_value(node.value):
-                            module.module_locks.add(target.id)
-            elif isinstance(node, ast.AnnAssign):
-                if isinstance(node.target, ast.Name):
-                    module.global_names.add(node.target.id)
-                    if node.value is not None and _is_lock_value(node.value):
-                        module.module_locks.add(node.target.id)
-            elif isinstance(node, _FUNC_NODES):
-                self._collect_function(node, cls=None, parent=None)
-            elif isinstance(node, ast.ClassDef):
-                self._collect_class(node)
-        # Locks are synchronization primitives, not shared state.
-        module.global_names -= module.module_locks
-        return module
-
-    def _collect_imports(self, tree: ast.Module) -> None:
-        module = self.module
-        package_parts = module.modname.split(".")
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    bound = alias.asname or alias.name.split(".", 1)[0]
-                    target = alias.name if alias.asname else alias.name.split(".", 1)[0]
-                    module.imports[bound] = target
-            elif isinstance(node, ast.ImportFrom):
-                base = node.module or ""
-                if node.level:
-                    # Resolve ``from ..x import y`` against our package.
-                    anchor = package_parts[: len(package_parts) - node.level]
-                    base = ".".join(anchor + ([base] if base else []))
-                for alias in node.names:
-                    if alias.name == "*":
-                        continue
-                    bound = alias.asname or alias.name
-                    dotted = f"{base}.{alias.name}" if base else alias.name
-                    module.imports[bound] = dotted
-
-    def _marked_boundary(self, node: FuncNode) -> bool:
-        lineno = node.lineno
-        lines = self.module.lines
-        if 1 <= lineno <= len(lines):
-            return WORKER_BOUNDARY_MARKER in lines[lineno - 1]
-        return False
-
-    def _collect_function(
-        self,
-        node: FuncNode,
-        cls: "Optional[str]",
-        parent: "Optional[FunctionInfo]",
-    ) -> FunctionInfo:
-        module = self.module
-        if parent is not None:
-            qualname = f"{parent.qualname}.<locals>.{node.name}"
-        elif cls is not None:
-            qualname = f"{module.modname}.{cls}.{node.name}"
-        else:
-            qualname = f"{module.modname}.{node.name}"
-        info = FunctionInfo(
-            qualname=qualname,
-            name=node.name,
-            module=module,
-            node=node,
-            cls=cls,
-            parent=parent,
-            is_boundary=self._marked_boundary(node),
-        )
-        if parent is not None:
-            parent.children[node.name] = info
-        elif cls is None:
-            module.functions[node.name] = info
-        for child in node.body:
-            if isinstance(child, _FUNC_NODES):
-                self._collect_function(child, cls=None, parent=info)
-        return info
-
-    def _collect_class(self, node: ast.ClassDef) -> None:
-        module = self.module
-        info = ClassInfo(name=node.name, module=module)
-        for base in node.bases:
-            chain = _dotted_chain(base)
-            if chain:
-                info.bases.append(chain[-1])
-        for member in node.body:
-            if isinstance(member, _FUNC_NODES):
-                info.methods[member.name] = self._collect_function(
-                    member, cls=node.name, parent=None
-                )
-            elif isinstance(member, ast.AnnAssign) and isinstance(
-                member.target, ast.Name
-            ):
-                if _is_lock_annotation(member.annotation) or (
-                    member.value is not None and _is_lock_value(member.value)
-                ):
-                    info.lock_attrs.add(member.target.id)
-            elif isinstance(member, ast.Assign):
-                for target in member.targets:
-                    if isinstance(target, ast.Name) and _is_lock_value(member.value):
-                        info.lock_attrs.add(target.id)
-        # ``self._lock = threading.Lock()`` inside any method.
-        for method in info.methods.values():
-            for stmt in ast.walk(method.node):
-                if isinstance(stmt, ast.Assign) and _is_lock_value(stmt.value):
-                    for target in stmt.targets:
-                        if (
-                            isinstance(target, ast.Attribute)
-                            and isinstance(target.value, ast.Name)
-                            and target.value.id == "self"
-                        ):
-                            info.lock_attrs.add(target.attr)
-        module.classes[node.name] = info
-
-
 # ---------------------------------------------------------------------------
 # Per-function scan: effects, call edges, submissions, PAR003/PAR005.
+#
+# The project model itself — symbol tables, import resolution, the
+# call graph and worker-boundary roots — lives in the shared
+# :mod:`repro.lint.callgraph`; this module keeps only the
+# parallel-safety analysis layered on top of it.
 # ---------------------------------------------------------------------------
-
-
-def _local_names(node: FuncNode) -> "Set[str]":
-    """Names bound inside a function (params + stores), excluding
-    bindings that happen only inside nested defs."""
-    names: "Set[str]" = set()
-    arguments = node.args
-    for arg in (
-        list(arguments.posonlyargs)
-        + list(arguments.args)
-        + list(arguments.kwonlyargs)
-    ):
-        names.add(arg.arg)
-    if arguments.vararg:
-        names.add(arguments.vararg.arg)
-    if arguments.kwarg:
-        names.add(arguments.kwarg.arg)
-    stack: "List[ast.AST]" = list(node.body)
-    while stack:
-        current = stack.pop()
-        if isinstance(current, (*_FUNC_NODES, ast.Lambda, ast.ClassDef)):
-            if isinstance(current, (*_FUNC_NODES, ast.ClassDef)):
-                names.add(current.name)
-            continue
-        if isinstance(current, ast.Name) and isinstance(
-            current.ctx, (ast.Store, ast.Del)
-        ):
-            names.add(current.id)
-        elif isinstance(current, (ast.Import, ast.ImportFrom)):
-            for alias in current.names:
-                names.add((alias.asname or alias.name).split(".", 1)[0])
-        elif isinstance(current, ast.ExceptHandler) and current.name:
-            names.add(current.name)
-        stack.extend(ast.iter_child_nodes(current))
-    return names
 
 
 class _FunctionScanner:
@@ -1285,17 +908,18 @@ class _FunctionScanner:
 # ---------------------------------------------------------------------------
 
 
-class _Project:
+class _Project(Project):
     """All modules of one invocation, analyzed together."""
 
+    pragma = ALLOW_PAR_PRAGMA
+
     def __init__(self) -> None:
-        self.modules: "List[ModuleInfo]" = []
-        self.modules_by_name: "Dict[str, ModuleInfo]" = {}
-        self.submit_sites: "List[SubmitSite]" = []
+        super().__init__()
         self.findings: "List[Diagnostic]" = []
-        self._methods_by_name: "Dict[str, List[FunctionInfo]]" = {}
-        self._functions_by_qualname: "Dict[str, FunctionInfo]" = {}
         self._emitted: "Set[Tuple[str, Optional[int], str, str]]" = set()
+
+    def sanctioned(self, filename: str) -> bool:
+        return _is_sanctioned(filename)
 
     # -- emission ------------------------------------------------------------
 
@@ -1334,21 +958,15 @@ class _Project:
             )
         )
 
-    # -- construction --------------------------------------------------------
-
-    def add_module(self, filename: str, source: str) -> None:
-        tree = ast.parse(source, filename=filename)
-        module = _ModuleCollector(filename, source, tree).collect()
-        self.modules.append(module)
-        self.modules_by_name[module.modname] = module
+    # -- analysis ------------------------------------------------------------
 
     def analyze(self) -> "List[Diagnostic]":
-        self._index()
+        self.index()
         for module in self.modules:
-            for func in self._all_functions(module):
+            for func in self.all_functions(module):
                 cls = module.classes.get(func.cls) if func.cls else None
                 _FunctionScanner(self, func, cls).run()
-        self._resolve_edges()
+        self.resolve_edges()
         self._propagate_from_roots()
         self._check_lock_discipline()
         for module in self.modules:
@@ -1358,145 +976,10 @@ class _Project:
         )
         return self.findings
 
-    def _all_functions(self, module: ModuleInfo) -> "List[FunctionInfo]":
-        result: "List[FunctionInfo]" = []
-
-        def descend(info: FunctionInfo) -> None:
-            result.append(info)
-            for child in info.children.values():
-                descend(child)
-
-        for func in module.functions.values():
-            descend(func)
-        for cls in module.classes.values():
-            for method in cls.methods.values():
-                descend(method)
-        return result
-
-    def _index(self) -> None:
-        for module in self.modules:
-            for func in self._all_functions(module):
-                self._functions_by_qualname[func.qualname] = func
-                if func.cls is not None and func.parent is None:
-                    self._methods_by_name.setdefault(func.name, []).append(func)
-
-    def _resolve_edges(self) -> None:
-        for module in self.modules:
-            for func in self._all_functions(module):
-                targets: "List[FunctionInfo]" = []
-                for ref in func.calls:
-                    targets.extend(self._resolve(ref, func))
-                # Deduplicate while keeping deterministic order.
-                seen: "Set[str]" = set()
-                for target in targets:
-                    if target.qualname not in seen:
-                        seen.add(target.qualname)
-                        func.resolved.append(target)
-
-    def _resolve(
-        self, ref: CallRef, caller: FunctionInfo
-    ) -> "List[FunctionInfo]":
-        module = caller.module
-        if ref.kind == "name":
-            scope: "Optional[FunctionInfo]" = caller
-            while scope is not None:
-                if ref.name in scope.children:
-                    return [scope.children[ref.name]]
-                scope = scope.parent
-            if ref.name in module.functions:
-                return [module.functions[ref.name]]
-            if ref.name in module.classes:
-                return self._constructor_targets(module.classes[ref.name])
-            if ref.dotted is not None:
-                return self._resolve_dotted(ref.dotted)
-            return []
-        # Attribute call.
-        if ref.recv_class is not None:
-            found = self._method_in_hierarchy(module, ref.recv_class, ref.name)
-            if found is not None:
-                return [found]
-        if ref.dotted is not None:
-            resolved = self._resolve_dotted(ref.dotted)
-            if resolved:
-                return resolved
-        if ref.name in COMMON_METHOD_NAMES:
-            return []
-        return list(self._methods_by_name.get(ref.name, []))
-
-    def _constructor_targets(self, cls: ClassInfo) -> "List[FunctionInfo]":
-        targets = []
-        for name in ("__init__", "__post_init__"):
-            if name in cls.methods:
-                targets.append(cls.methods[name])
-        return targets
-
-    def _method_in_hierarchy(
-        self, module: ModuleInfo, class_name: str, method: str
-    ) -> "Optional[FunctionInfo]":
-        visited: "Set[str]" = set()
-        queue = [class_name]
-        while queue:
-            current = queue.pop(0)
-            if current in visited:
-                continue
-            visited.add(current)
-            for candidate_module in (module, *self.modules):
-                cls = candidate_module.classes.get(current)
-                if cls is not None:
-                    if method in cls.methods:
-                        return cls.methods[method]
-                    queue.extend(cls.bases)
-                    break
-        return None
-
-    def _resolve_dotted(self, dotted: str) -> "List[FunctionInfo]":
-        modname, _, attr = dotted.rpartition(".")
-        module = self.modules_by_name.get(modname)
-        if module is None:
-            return []
-        if attr in module.functions:
-            return [module.functions[attr]]
-        if attr in module.classes:
-            return self._constructor_targets(module.classes[attr])
-        return []
-
     # -- reachability from worker boundaries ---------------------------------
 
-    def _roots(self) -> "List[Tuple[FunctionInfo, str]]":
-        roots: "List[Tuple[FunctionInfo, str]]" = []
-        seen: "Set[str]" = set()
-        for site in self.submit_sites:
-            call = site.call
-            if not call.args:
-                continue
-            first = call.args[0]
-            resolved: "List[FunctionInfo]" = []
-            if isinstance(first, ast.Name):
-                caller = site.func
-                ref = CallRef(
-                    kind="name",
-                    name=first.id,
-                    dotted=site.module.imports.get(first.id, first.id),
-                )
-                if caller is not None:
-                    resolved = self._resolve(ref, caller)
-            via = (
-                f"pool submission in "
-                f"{site.func.qualname if site.func else site.module.modname}"
-            )
-            for target in resolved:
-                if target.qualname not in seen:
-                    seen.add(target.qualname)
-                    roots.append((target, via))
-        for module in self.modules:
-            for func in self._all_functions(module):
-                if func.is_boundary and func.qualname not in seen:
-                    seen.add(func.qualname)
-                    roots.append((func, f"`# {WORKER_BOUNDARY_MARKER}` marker"))
-        return roots
-
     def _propagate_from_roots(self) -> None:
-        roots = self._roots()
+        roots = self.worker_roots()
         parent: "Dict[str, Optional[str]]" = {}
         origin: "Dict[str, str]" = {}
         queue: "List[FunctionInfo]" = []

@@ -101,6 +101,38 @@ class TestBroadExcept:
         )
         assert lint_source(source, "m.py") == []
 
+    def test_attribute_form_broad_handler_flagged(self):
+        # `except builtins.BaseException:` is the same catch-all in a
+        # trenchcoat; the attribute spelling must not slip past.
+        source = (
+            "import builtins\n"
+            "try:\n    pass\n"
+            "except builtins.BaseException:\n    pass\n"
+        )
+        findings = lint_source(source, "m.py")
+        assert codes(findings) == ["EXC001"]
+        assert findings[0].line == 4
+
+    def test_attribute_form_in_tuple_flagged(self):
+        source = (
+            "import builtins\n"
+            "try:\n    pass\n"
+            "except (ValueError, builtins.Exception):\n    pass\n"
+        )
+        assert codes(lint_source(source, "m.py")) == ["EXC001"]
+
+    def test_exn_family_pragma_also_allows_the_handler(self):
+        # A site sanctioned for exception-flow analysis (`allow-exn`)
+        # is sanctioned for the syntactic rule too: one comment covers
+        # the family.
+        from repro.lint.codelint import EXN_FAMILY_PRAGMA
+
+        source = (
+            "try:\n    pass\n"
+            f"except Exception:  # {EXN_FAMILY_PRAGMA}\n    pass\n"
+        )
+        assert lint_source(source, "m.py") == []
+
 
 class TestTreeAndCli:
     def test_repro_tree_is_clean(self):
