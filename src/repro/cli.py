@@ -210,6 +210,45 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_risk(args: argparse.Namespace) -> int:
+    """Assess annualized risk for a spec file's scenario ensemble."""
+    from .reporting.risk_report import risk_report
+    from .risk import assess_risk
+    from .serialization import canonical_json, ensemble_from_spec
+
+    with open(args.spec) as handle:
+        spec = json.load(handle)
+    workload = workload_from_spec(spec.get("workload", "cello"))
+    design = design_from_spec(spec.get("design", "baseline"))
+    if "ensemble" not in spec:
+        raise ReproError(
+            f"spec {args.spec!r} has no 'ensemble' section; "
+            "'repro risk' needs rated scenarios (see 'repro evaluate' "
+            "for single-scenario worst cases)"
+        )
+    ensemble = ensemble_from_spec(spec["ensemble"])
+    if "requirements" in spec:
+        requirements = requirements_from_spec(spec["requirements"])
+    else:
+        requirements = case_study_requirements()
+
+    assessment = assess_risk(
+        design,
+        workload,
+        ensemble,
+        requirements,
+        years=args.years,
+        samples=args.samples,
+        seed=args.seed,
+        config=_engine_config(args),
+    )
+    if args.format == "json":
+        print(canonical_json(assessment.to_dict()))
+    else:
+        print(risk_report(assessment))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     """Statically check spec files for dependability anti-patterns.
 
@@ -609,6 +648,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_flags(ev)
     _add_engine_flags(ev)
     ev.set_defaults(func=_cmd_evaluate)
+
+    risk = sub.add_parser(
+        "risk",
+        help="assess annualized risk for a spec file's scenario ensemble",
+    )
+    risk.add_argument("spec", help="JSON spec file with an 'ensemble' section")
+    risk.add_argument(
+        "--years",
+        type=float,
+        default=1.0,
+        metavar="Y",
+        help="assessment horizon in years (default: 1)",
+    )
+    risk.add_argument(
+        "--samples",
+        type=int,
+        default=0,
+        metavar="N",
+        help="add a seeded Monte Carlo cross-check with N samples "
+        "(default: 0, analytic only)",
+    )
+    risk.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="root seed for the Monte Carlo substreams (default: 0)",
+    )
+    risk.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        help="human tables, or one line of canonical JSON "
+        "(byte-identical across serial/parallel/cached runs)",
+    )
+    _add_obs_flags(risk)
+    _add_engine_flags(risk)
+    risk.set_defaults(func=_cmd_risk)
 
     lint = sub.add_parser(
         "lint",

@@ -111,6 +111,17 @@ class SimulationError(ReproError, RuntimeError):
     """The discrete-event simulator reached an inconsistent state."""
 
 
+class RiskError(ReproError, ValueError):
+    """A probabilistic risk model is inconsistent or unusable.
+
+    Examples: an ensemble member with a non-positive occurrence rate, a
+    duplicate member id, a k-out-of-n model outside the validity range
+    of its deterministic-repair approximation, or an ensemble member
+    whose scenario the design cannot survive (infinite severity makes
+    every annualized distribution degenerate).
+    """
+
+
 class OptimizationError(ReproError, RuntimeError):
     """The design optimizer could not produce a feasible design."""
 

@@ -72,6 +72,7 @@ from ..units import (
     DECIMAL_SIZE_CONSTANTS,
     DIMENSIONLESS,
     DIMENSIONS,
+    FREQUENCY,
     MONEY,
     MONEY_RATE,
     RATE,
@@ -226,8 +227,16 @@ ATTRIBUTE_DIMS: "Dict[str, Dimension]" = {
     "peak_update_rate": RATE,
     "avg_read_rate": RATE,
     "max_bandwidth": RATE,
+    # event frequencies (occurrences/s, the risk layer's 1/s family)
+    "occurrence_rate": FREQUENCY,
+    "secondary_rate": FREQUENCY,
+    "unit_rate": FREQUENCY,
+    "total_rate": FREQUENCY,
+    # per-year reporting figures are plain counts (rate x YEAR)
+    "rate_per_year": DIMENSIONLESS,
     # durations
     "access_delay": TIME,
+    "repair_time": TIME,
     "recovery_time": TIME,
     "data_loss": TIME,
     "recent_data_loss": TIME,
@@ -290,6 +299,12 @@ METHOD_STUBS: "Dict[str, Signature]" = {
     "recovery_size": Signature(
         (("workload", None), ("requested_bytes", SIZE)), SIZE
     ),
+    # Risk layer (k-out-of-n redundancy, cascades)
+    "effective_failure_rate": Signature((), FREQUENCY),
+    "mttf": Signature((), TIME),
+    "cascade_probability": Signature(
+        (("recovery_time", TIME),), DIMENSIONLESS
+    ),
 }
 
 #: Stubs for plain-name calls (the :mod:`repro.units` helpers).  The
@@ -299,10 +314,12 @@ FUNCTION_STUBS: "Dict[str, Signature]" = {
     "parse_size": Signature((("value", SIZE),), SIZE),
     "parse_rate": Signature((("value", RATE),), RATE),
     "parse_duration": Signature((("value", TIME),), TIME),
+    "parse_event_rate": Signature((("value", FREQUENCY),), FREQUENCY),
     "format_size": Signature((("num_bytes", SIZE),), None),
     "format_rate": Signature((("bytes_per_sec", RATE),), None),
     "format_duration": Signature((("seconds", TIME),), None),
     "format_money": Signature((("dollars", MONEY),), None),
+    "format_event_rate": Signature((("per_second", FREQUENCY),), None),
 }
 
 #: Well-known parameter names, used to seed unannotated parameters.
@@ -323,6 +340,12 @@ PARAM_NAME_DIMS: "Dict[str, Dimension]" = {
     "task_timeout": TIME,
     "retry_backoff": TIME,
     "backoff": TIME,
+    "occurrence_rate": FREQUENCY,
+    "unit_rate": FREQUENCY,
+    "secondary_rate": FREQUENCY,
+    "per_second": FREQUENCY,
+    "repair_time": TIME,
+    "horizon": TIME,
 }
 
 _PASSTHROUGH_BUILTINS = ("float", "int", "abs", "round")

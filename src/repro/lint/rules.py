@@ -28,6 +28,7 @@ DEP011    warning   units        penalty rate off by >= 10^3 (per-hour as per-s)
 DEP012    error     scenario     scenario names a device the design lacks
 DEP013    error     structure    empty design / level 0 is not a primary copy
 DEP014    warning   structure    no secondary levels: any hardware loss is total
+DEP015    error     spec         inconsistent risk ensemble (rates, ids, refs)
 ========  ========  ===========  ================================================
 
 DEP001–DEP003 are the paper's section 3.2.1 inter-level conventions,
@@ -40,7 +41,14 @@ from __future__ import annotations
 from typing import Any, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from ..scenarios.failures import FailureScenario, FailureScope
-from ..units import HOUR, format_duration, format_money, format_size
+from ..units import (
+    HOUR,
+    UnitError,
+    format_duration,
+    format_money,
+    format_size,
+    parse_event_rate,
+)
 from .diagnostics import Diagnostic, Severity
 from .registry import RuleContext, make, register_code, rule
 
@@ -658,3 +666,172 @@ def no_secondary_levels(ctx: RuleContext) -> "Iterator[Diagnostic]":
         "backup...)",
         pointer="/levels",
     )
+
+
+# ---------------------------------------------------------------------------
+# Risk ensembles (DEP015).
+# ---------------------------------------------------------------------------
+
+
+def _entries(section: "Mapping[str, Any]", group: str) -> "Iterator[Tuple[int, Mapping[str, Any]]]":
+    """The well-formed dictionary entries of one ensemble group."""
+    entries = section.get(group)
+    if not isinstance(entries, Sequence) or isinstance(entries, (str, bytes)):
+        return
+    for index, entry in enumerate(entries):
+        if isinstance(entry, Mapping):
+            yield index, entry
+
+
+def _rate_problem(value: Any) -> "Optional[str]":
+    """Why a spec rate value is unusable (None if it is fine)."""
+    if not isinstance(value, (str, int, float)) or isinstance(value, bool):
+        return f"rate must be a number or a rate string, got {value!r}"
+    try:
+        rate = parse_event_rate(value)
+    except UnitError as exc:
+        return str(exc)
+    if not rate > 0:
+        return (
+            f"rate {value!r} is not positive: an event that cannot occur "
+            "contributes no risk — drop the member instead"
+        )
+    return None
+
+
+def _scenario_device(scenario_spec: Any) -> "Optional[str]":
+    """The device an array-failure scenario spec would fail, if any."""
+    if isinstance(scenario_spec, str):
+        scenario_spec = {"scope": scenario_spec}
+    if not isinstance(scenario_spec, Mapping):
+        return None
+    if scenario_spec.get("scope") != FailureScope.DISK_ARRAY.value:
+        return None
+    device = scenario_spec.get("failed_device", "primary-array")
+    return device if isinstance(device, str) else None
+
+
+@rule("DEP015", Severity.ERROR, "spec")
+def ensemble_inconsistency(ctx: RuleContext) -> "Iterator[Diagnostic]":
+    """A risk ensemble spec that would not build or could not fire.
+
+    Four inconsistencies: non-positive (or unparseable) occurrence
+    rates, cascade probabilities / correlation fractions outside
+    (0, 1], duplicate member ids, and a rate attached to an
+    array-failure scenario naming a device the design never defines
+    (the ensemble's analogue of DEP012).
+    """
+    spec = ctx.spec
+    if not isinstance(spec, Mapping):
+        return
+    section = spec.get("ensemble")
+    if not isinstance(section, Mapping):
+        return
+
+    device_names: "Optional[List[str]]" = None
+    if ctx.design is not None and ctx.design.levels:
+        device_names = sorted(
+            {device.name for device in ctx.design.devices()}
+        )
+
+    def check_scenario(
+        scenario_spec: Any, pointer: str
+    ) -> "Iterator[Diagnostic]":
+        failed = _scenario_device(scenario_spec)
+        if failed is None or device_names is None or failed in device_names:
+            return
+        yield make(
+            "DEP015",
+            f"ensemble rates an array failure of device {failed!r}, "
+            "which the design does not contain (evaluation would "
+            "reject it)",
+            hint="use one of the design's devices: "
+            + ", ".join(device_names),
+            pointer=pointer,
+        )
+
+    seen_ids: "dict" = {}
+    rate_keys = {
+        "members": ("rate",),
+        "correlated": ("rate",),
+        "cascades": ("rate", "secondary_rate"),
+    }
+    scenario_keys = {
+        "members": ("scenario",),
+        "correlated": ("base", "correlated"),
+        "cascades": ("primary", "escalated"),
+    }
+    for group in ("members", "correlated", "cascades"):
+        for index, entry in _entries(section, group):
+            pointer = f"/ensemble/{group}/{index}"
+            member_id = entry.get("id")
+            if isinstance(member_id, str) and member_id:
+                if member_id in seen_ids:
+                    yield make(
+                        "DEP015",
+                        f"duplicate ensemble member id {member_id!r} "
+                        f"(also declared at {seen_ids[member_id]})",
+                        hint="ids must be unique across members, "
+                        "correlated pairs and cascades",
+                        pointer=f"{pointer}/id",
+                    )
+                else:
+                    seen_ids[member_id] = pointer
+            for key in rate_keys[group]:
+                if key not in entry:
+                    continue
+                problem = _rate_problem(entry[key])
+                if problem is not None:
+                    yield make(
+                        "DEP015",
+                        f"ensemble {group} entry {index}: {problem}",
+                        hint='rates are events per second; write '
+                        '"0.5/yr" for the paper\'s per-year idiom',
+                        pointer=f"{pointer}/{key}",
+                    )
+            kofn = entry.get("kofn")
+            if isinstance(kofn, Mapping) and "unit_rate" in kofn:
+                problem = _rate_problem(kofn["unit_rate"])
+                if problem is not None:
+                    yield make(
+                        "DEP015",
+                        f"ensemble member {index} kofn: {problem}",
+                        hint="the unit failure rate must be a positive "
+                        "event rate",
+                        pointer=f"{pointer}/kofn/unit_rate",
+                    )
+            for key, label in (
+                ("probability", "cascade probability"),
+                ("fraction", "correlation fraction"),
+            ):
+                value = entry.get(key)
+                if value is None or isinstance(value, bool):
+                    continue
+                if isinstance(value, (int, float)) and not 0 < value <= 1:
+                    yield make(
+                        "DEP015",
+                        f"ensemble {group} entry {index}: {label} "
+                        f"{value!r} is outside (0, 1]",
+                        hint="0 means the split never happens (drop "
+                        "it); above 1 is not a probability",
+                        pointer=f"{pointer}/{key}",
+                    )
+            for key in scenario_keys[group]:
+                if key in entry:
+                    yield from check_scenario(
+                        entry[key], f"{pointer}/{key}"
+                    )
+
+    generate = section.get("generate")
+    if isinstance(generate, Mapping):
+        grid = generate.get("object_grid")
+        if isinstance(grid, Mapping) and "total_rate" in grid:
+            problem = _rate_problem(grid["total_rate"])
+            if problem is not None:
+                yield make(
+                    "DEP015",
+                    f"ensemble object_grid: {problem}",
+                    hint="the generated members share this total rate; "
+                    "it must be positive",
+                    pointer="/ensemble/generate/object_grid/total_rate",
+                )

@@ -20,6 +20,7 @@ from .report import (
     whatif_report,
 )
 from .obs_report import metrics_report, provenance_report, span_tree_report
+from .risk_report import bound_check_report, risk_report, top_members_report
 
 __all__ = [
     "Table",
@@ -32,4 +33,7 @@ __all__ = [
     "span_tree_report",
     "metrics_report",
     "provenance_report",
+    "risk_report",
+    "top_members_report",
+    "bound_check_report",
 ]

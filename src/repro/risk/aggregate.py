@@ -1,0 +1,360 @@
+"""The analytic risk aggregator: ensemble in, annualized risk out.
+
+:func:`assess_risk` is the subsystem's workhorse.  It evaluates every
+distinct scenario an ensemble references through the parallel,
+cache-aware engine (:func:`repro.engine.map_evaluations`), then folds
+the per-event severities — worst-case recovery time, recent data loss
+and outage penalties from each :class:`~repro.core.results.Assessment`
+— with the members' occurrence rates into annualized
+expected-downtime / expected-loss / expected-penalty distributions
+(:mod:`repro.risk.distributions`).
+
+Two properties make large generated ensembles cheap:
+
+* **content-addressed dedup** — members are grouped by the digest of
+  their scenario's canonical serialization, so a 1000-member ensemble
+  over 64 distinct scenarios costs 64 evaluations, and the engine's
+  result cache makes repeat runs nearly free;
+* **two-round cascades** — cascade splits need the *evaluator's own*
+  recovery time for the primary fault, so primaries are evaluated
+  first, every :class:`~repro.risk.ensemble.CascadeSpec` is expanded
+  with the measured recovery times, and only then are the escalated
+  scenarios (usually already deduplicated away) evaluated.
+
+Everything downstream of the evaluations is deterministic arithmetic,
+so the JSON report is byte-identical across serial, parallel and
+warm-cache runs — the property the CI ``risk`` job diffs for.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..core.hierarchy import StorageDesign
+from ..core.results import Assessment
+from ..engine import EngineConfig, EvaluationTask, ResultCache, map_evaluations
+from ..exceptions import RiskError
+from ..obs import get_metrics, get_tracer
+from ..scenarios.failures import FailureScenario
+from ..scenarios.requirements import BusinessRequirements
+from ..serialization import canonical_json, scenario_to_dict
+from ..units import Seconds, YEAR
+from ..workload.spec import Workload
+from .distributions import RiskDistribution, compound_poisson_distribution
+from .ensemble import EnsembleMember, ScenarioEnsemble
+from .montecarlo import MonteCarloResult, SeverityRow, cross_check
+
+DesignOrFactory = Union[StorageDesign, Callable[[], StorageDesign]]
+
+
+def scenario_digest(scenario: FailureScenario) -> str:
+    """A stable content digest of one scenario's canonical form."""
+    payload = canonical_json(scenario_to_dict(scenario))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class MemberOutcome:
+    """One expanded member: rate x evaluated per-event severities."""
+
+    member_id: str
+    scenario: str
+    scenario_digest: str
+    rate_per_year: float
+    #: Per-event severities (worst case, straight from the evaluator).
+    recovery_time: Seconds
+    data_loss: Seconds
+    penalty: float
+    #: True for members produced by expanding a cascade spec.
+    from_cascade: bool = False
+
+    @property
+    def expected_downtime_per_year(self) -> float:
+        return _expected(self.rate_per_year, self.recovery_time)
+
+    @property
+    def expected_loss_per_year(self) -> float:
+        return _expected(self.rate_per_year, self.data_loss)
+
+    @property
+    def expected_penalty_per_year(self) -> float:
+        return _expected(self.rate_per_year, self.penalty)
+
+    def to_dict(self) -> "Dict[str, object]":
+        return {
+            "member_id": self.member_id,
+            "scenario": self.scenario,
+            "scenario_digest": self.scenario_digest,
+            "rate_per_year": self.rate_per_year,
+            "recovery_time": self.recovery_time,
+            "data_loss": self.data_loss,
+            "penalty": self.penalty,
+            "from_cascade": self.from_cascade,
+            "expected_downtime_per_year": self.expected_downtime_per_year,
+            "expected_loss_per_year": self.expected_loss_per_year,
+            "expected_penalty_per_year": self.expected_penalty_per_year,
+        }
+
+
+def _expected(rate_per_year: float, severity: float) -> float:
+    """Rate x severity with the inf * 0 convention: no events, no risk."""
+    if severity == 0 or rate_per_year == 0:
+        return 0.0
+    return rate_per_year * severity
+
+
+@dataclass(frozen=True)
+class RiskAssessment:
+    """Everything one ensemble assessment produced."""
+
+    ensemble_name: str
+    design_name: str
+    years: float
+    total_rate_per_year: float
+    unique_scenarios: int
+    members: "Tuple[MemberOutcome, ...]"
+    downtime: RiskDistribution
+    loss: RiskDistribution
+    penalty: RiskDistribution
+    monte_carlo: "Optional[MonteCarloResult]" = None
+    grid_bins: int = field(default=2048, compare=False)
+
+    @property
+    def expected_downtime_per_year(self) -> float:
+        return self.downtime.mean / self.years
+
+    @property
+    def expected_loss_per_year(self) -> float:
+        return self.loss.mean / self.years
+
+    @property
+    def expected_penalty_per_year(self) -> float:
+        return self.penalty.mean / self.years
+
+    def to_dict(self) -> "Dict[str, object]":
+        """A stable, cache-independent JSON form.
+
+        Deliberately excludes anything that varies across equivalent
+        runs (cache hits, timings, worker counts) so serial, parallel
+        and warm-cache invocations serialize byte-identically.
+        """
+        data: "Dict[str, object]" = {
+            "schema": 1,
+            "kind": "risk_assessment",
+            "ensemble": self.ensemble_name,
+            "design": self.design_name,
+            "years": self.years,
+            "total_rate_per_year": self.total_rate_per_year,
+            "members": len(self.members),
+            "unique_scenarios": self.unique_scenarios,
+            "downtime": self.downtime.to_dict(),
+            "loss": self.loss.to_dict(),
+            "penalty": self.penalty.to_dict(),
+            "per_member": [m.to_dict() for m in self.members],
+        }
+        if self.monte_carlo is not None:
+            data["monte_carlo"] = self.monte_carlo.to_dict()
+        return data
+
+
+def assess_risk(
+    design: DesignOrFactory,
+    workload: Workload,
+    ensemble: ScenarioEnsemble,
+    requirements: BusinessRequirements,
+    *,
+    years: float = 1.0,
+    samples: int = 0,
+    seed: int = 0,
+    grid_bins: int = 2048,
+    config: "Optional[EngineConfig]" = None,
+    cache: "Optional[ResultCache]" = None,
+) -> RiskAssessment:
+    """Assess a design's annualized risk under a scenario ensemble.
+
+    ``design`` is a built :class:`StorageDesign` or a zero-argument
+    factory (the design-space convention).  ``samples > 0`` adds the
+    seeded Monte Carlo cross-check.  ``config`` / ``cache`` ride the
+    existing engine fabric — workers, result cache, telemetry — and
+    never change the numbers.
+    """
+    if not years > 0:
+        raise RiskError(f"assessment horizon must be positive, got {years!r}")
+    metrics = get_metrics()
+    tracer = get_tracer()
+    with tracer.span(
+        "risk.assess", ensemble=ensemble.name, members=len(ensemble)
+    ):
+        horizon = years * YEAR
+        assessments: "Dict[str, Assessment]" = {}
+        evaluate = _make_evaluator(
+            design, workload, requirements, config, cache, assessments
+        )
+
+        # Round 1: declared members plus every cascade's primary (the
+        # recovery time of which sets the cascade probability).
+        first_round = [m.scenario for m in ensemble.members]
+        first_round.extend(c.primary for c in ensemble.cascades)
+        evaluate(first_round)
+
+        expanded: "List[Tuple[EnsembleMember, bool]]" = [
+            (m, False) for m in ensemble.members
+        ]
+        for cascade in ensemble.cascades:
+            primary = assessments[scenario_digest(cascade.primary)]
+            expanded.extend(
+                (m, True) for m in cascade.split(primary.recovery_time)
+            )
+
+        # Round 2: escalated scenarios the splits introduced (already
+        # in ``assessments`` if any declared member shares them).
+        evaluate([m.scenario for m, _ in expanded])
+
+        outcomes = []
+        for member, from_cascade in expanded:
+            digest = scenario_digest(member.scenario)
+            assessment = assessments[digest]
+            outcomes.append(
+                MemberOutcome(
+                    member_id=member.member_id,
+                    scenario=member.scenario.describe(),
+                    scenario_digest=digest,
+                    rate_per_year=member.rate_per_year,
+                    recovery_time=assessment.recovery_time,
+                    data_loss=assessment.recent_data_loss,
+                    penalty=assessment.costs.total_penalties,
+                    from_cascade=from_cascade,
+                )
+            )
+        outcomes.sort(key=lambda outcome: outcome.member_id)
+
+        severity = {
+            "downtime": [], "loss": [], "penalty": [],
+        }  # type: Dict[str, List[Tuple[float, float]]]
+        rows: "List[SeverityRow]" = []
+        for outcome in outcomes:
+            rate = outcome.rate_per_year / YEAR
+            severity["downtime"].append((rate, outcome.recovery_time))
+            severity["loss"].append((rate, outcome.data_loss))
+            severity["penalty"].append((rate, outcome.penalty))
+            rows.append(
+                (
+                    outcome.member_id,
+                    rate,
+                    outcome.recovery_time,
+                    outcome.data_loss,
+                    outcome.penalty,
+                )
+            )
+
+        with tracer.span("risk.fold", entries=len(outcomes)):
+            downtime = compound_poisson_distribution(
+                severity["downtime"], horizon, grid_bins
+            )
+            loss = compound_poisson_distribution(
+                severity["loss"], horizon, grid_bins
+            )
+            penalty = compound_poisson_distribution(
+                severity["penalty"], horizon, grid_bins
+            )
+
+        monte_carlo = None
+        if samples > 0:
+            with tracer.span("risk.monte_carlo", samples=samples):
+                monte_carlo = cross_check(rows, horizon, samples, seed)
+
+        metrics.inc("risk.assessments")
+        metrics.inc("risk.members", len(outcomes))
+        metrics.set_gauge("risk.unique_scenarios", len(assessments))
+        design_name = next(iter(assessments.values())).design_name
+        return RiskAssessment(
+            ensemble_name=ensemble.name,
+            design_name=design_name,
+            years=years,
+            total_rate_per_year=ensemble.total_rate * YEAR,
+            unique_scenarios=len(assessments),
+            members=tuple(outcomes),
+            downtime=downtime,
+            loss=loss,
+            penalty=penalty,
+            monte_carlo=monte_carlo,
+            grid_bins=grid_bins,
+        )
+
+
+def _make_evaluator(
+    design: DesignOrFactory,
+    workload: Workload,
+    requirements: BusinessRequirements,
+    config: "Optional[EngineConfig]",
+    cache: "Optional[ResultCache]",
+    assessments: "Dict[str, Assessment]",
+) -> "Callable[[Sequence[FailureScenario]], None]":
+    """An incremental evaluator that fills ``assessments`` by digest.
+
+    Each call evaluates only scenarios whose digest is still unknown —
+    one engine task per *unique* scenario, named ``risk:{digest}`` so
+    run ledgers and traces attribute work to content, not member ids.
+    """
+    if isinstance(design, StorageDesign):
+        task_design: "Optional[StorageDesign]" = design
+        factory = None
+    elif callable(design):
+        task_design = None
+        factory = design
+    else:
+        raise RiskError(
+            f"design must be a StorageDesign or a factory, got {design!r}"
+        )
+
+    def evaluate(scenarios: "Sequence[FailureScenario]") -> None:
+        fresh: "Dict[str, FailureScenario]" = {}
+        for scenario in scenarios:
+            digest = scenario_digest(scenario)
+            if digest not in assessments and digest not in fresh:
+                fresh[digest] = scenario
+        if not fresh:
+            return
+        tasks = [
+            EvaluationTask(
+                name=f"risk:{digest}",
+                workload=workload,
+                scenarios=(scenario,),
+                requirements=requirements,
+                design=task_design,
+                factory=factory,
+            )
+            for digest, scenario in fresh.items()
+        ]
+        outcomes = map_evaluations(tasks, config, cache, label="risk")
+        for (digest, scenario), outcome in zip(fresh.items(), outcomes):
+            if not outcome.ok:
+                error = outcome.error
+                assert error is not None
+                raise error
+            assessments[digest] = outcome.value[scenario.describe()]
+
+    return evaluate
+
+
+def degenerate_assessment(
+    assessment: Assessment, member_id: str = "only"
+) -> MemberOutcome:
+    """The MemberOutcome a one-member, 1/yr ensemble must reproduce.
+
+    A convenience for tests and docs: wraps a deterministic
+    :func:`repro.core.evaluate.evaluate` result in the outcome shape
+    so equality against :func:`assess_risk` output is a one-liner.
+    """
+    return MemberOutcome(
+        member_id=member_id,
+        scenario=assessment.scenario.describe(),
+        scenario_digest=scenario_digest(assessment.scenario),
+        rate_per_year=1.0,
+        recovery_time=assessment.recovery_time,
+        data_loss=assessment.recent_data_loss,
+        penalty=assessment.costs.total_penalties,
+    )

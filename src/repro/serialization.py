@@ -54,6 +54,7 @@ from .techniques.primary import PrimaryCopy
 from .techniques.snapshot import VirtualSnapshot
 from .techniques.split_mirror import SplitMirror
 from .techniques.vaulting import RemoteVaulting
+from .units import YEAR, parse_duration
 from .workload.batch_curve import BatchUpdateCurve
 from .workload.presets import cello, oltp_database, web_server
 from .workload.spec import Workload
@@ -814,3 +815,219 @@ def assessment_from_dict(data: Mapping[str, Any]) -> Assessment:
             None if provenance is None else EvaluationProvenance.from_dict(provenance)
         ),
     )
+
+
+# ---------------------------------------------------------------------------
+# Scenario ensembles: rated-scenario specs for the risk layer.
+#
+# Strict spec parsing, like the design/scenario parsers above.  The
+# risk package imports this module, so everything here imports
+# ``repro.risk`` lazily.
+# ---------------------------------------------------------------------------
+
+
+def _event_rate_from_spec(value: Any, context: str) -> float:
+    """An occurrence rate in events/second.
+
+    Strings carry their unit (``"0.5/yr"``, ``"2/wk"``); bare numbers
+    are events per *second* like every other bare quantity in a spec.
+    """
+    from .units import UnitError, parse_event_rate
+
+    try:
+        return parse_event_rate(value)
+    except UnitError as error:
+        raise DesignError(f"{context}: {error}") from error
+
+
+def ensemble_from_spec(spec: Mapping[str, Any]) -> "Any":
+    """Build a :class:`repro.risk.ScenarioEnsemble` from its spec.
+
+    The spec groups members by how their rates arise::
+
+        {"name": "mixed",
+         "members": [
+             {"id": "array", "scenario": "array", "rate": "0.5/yr"},
+             {"id": "raid", "scenario": "array",
+              "kofn": {"n": 8, "k": 6, "unit_rate": "2/yr",
+                       "repair_time": "8 hr", "repair": "parallel"}}],
+         "correlated": [
+             {"id": "array-bk", "rate": "0.5/yr", "fraction": 0.25,
+              "base": "array", "correlated": "building"}],
+         "cascades": [
+             {"id": "site", "rate": "0.01/yr", "primary": "array",
+              "escalated": "site", "secondary_rate": "0.5/yr"}],
+         "generate": {"object_grid": {"count": 1000,
+                                      "total_rate": "12/yr"}}}
+
+    Scenario references reuse :func:`scenario_from_spec` (scope-name
+    strings or full dictionaries).  Each declared member's rate comes
+    either from an explicit ``rate`` or from a ``kofn`` redundancy
+    model — exactly one.  A cascade takes exactly one of
+    ``secondary_rate`` / ``probability``.  ``generate`` appends the
+    members of a generated ensemble (currently ``object_grid``).
+    """
+    from .risk import (
+        CascadeSpec,
+        EnsembleMember,
+        KofNModel,
+        ScenarioEnsemble,
+        correlated_pair,
+        object_corruption_grid,
+    )
+
+    _check_keys(
+        spec,
+        {"name", "members", "correlated", "cascades", "generate"},
+        "ensemble",
+    )
+    name = _require(spec, "name", "ensemble")
+    members: "List[Any]" = []
+
+    for index, member_spec in enumerate(spec.get("members", ())):
+        context = f"ensemble member {index}"
+        _check_keys(member_spec, {"id", "scenario", "rate", "kofn"}, context)
+        member_id = _require(member_spec, "id", context)
+        scenario = scenario_from_spec(_require(member_spec, "scenario", context))
+        has_rate = "rate" in member_spec
+        has_kofn = "kofn" in member_spec
+        if has_rate == has_kofn:
+            raise DesignError(
+                f"{context} ({member_id!r}): needs exactly one of "
+                "'rate' or 'kofn'"
+            )
+        if has_rate:
+            rate = _event_rate_from_spec(member_spec["rate"], context)
+            members.append(EnsembleMember(member_id, scenario, rate))
+        else:
+            kofn_spec = member_spec["kofn"]
+            _check_keys(
+                kofn_spec,
+                {"n", "k", "unit_rate", "repair_time", "repair"},
+                f"{context} kofn",
+            )
+            model = KofNModel(
+                n=_require(kofn_spec, "n", f"{context} kofn"),
+                k=_require(kofn_spec, "k", f"{context} kofn"),
+                unit_rate=_event_rate_from_spec(
+                    _require(kofn_spec, "unit_rate", f"{context} kofn"),
+                    f"{context} kofn",
+                ),
+                repair_time=parse_duration(
+                    _require(kofn_spec, "repair_time", f"{context} kofn")
+                ),
+                repair=kofn_spec.get("repair", "parallel"),
+            )
+            members.append(model.member(member_id, scenario))
+
+    for index, pair_spec in enumerate(spec.get("correlated", ())):
+        context = f"ensemble correlated {index}"
+        _check_keys(
+            pair_spec,
+            {"id", "rate", "fraction", "base", "correlated"},
+            context,
+        )
+        members.extend(
+            correlated_pair(
+                _require(pair_spec, "id", context),
+                scenario_from_spec(_require(pair_spec, "base", context)),
+                scenario_from_spec(_require(pair_spec, "correlated", context)),
+                _event_rate_from_spec(
+                    _require(pair_spec, "rate", context), context
+                ),
+                _require(pair_spec, "fraction", context),
+            )
+        )
+
+    cascades: "List[Any]" = []
+    for index, cascade_spec in enumerate(spec.get("cascades", ())):
+        context = f"ensemble cascade {index}"
+        _check_keys(
+            cascade_spec,
+            {"id", "rate", "primary", "escalated", "secondary_rate",
+             "probability"},
+            context,
+        )
+        secondary = cascade_spec.get("secondary_rate")
+        cascades.append(
+            CascadeSpec(
+                member_id=_require(cascade_spec, "id", context),
+                primary=scenario_from_spec(
+                    _require(cascade_spec, "primary", context)
+                ),
+                occurrence_rate=_event_rate_from_spec(
+                    _require(cascade_spec, "rate", context), context
+                ),
+                escalated=scenario_from_spec(
+                    _require(cascade_spec, "escalated", context)
+                ),
+                secondary_rate=(
+                    None
+                    if secondary is None
+                    else _event_rate_from_spec(secondary, context)
+                ),
+                probability=cascade_spec.get("probability"),
+            )
+        )
+
+    generate = spec.get("generate")
+    if generate is not None:
+        _check_keys(generate, {"object_grid"}, "ensemble generate")
+        grid_spec = _require(generate, "object_grid", "ensemble generate")
+        _check_keys(
+            grid_spec,
+            {"count", "total_rate", "distinct_ages", "max_age",
+             "object_size"},
+            "object_grid",
+        )
+        grid = object_corruption_grid(
+            count=_require(grid_spec, "count", "object_grid"),
+            total_rate_per_year=_event_rate_from_spec(
+                _require(grid_spec, "total_rate", "object_grid"),
+                "object_grid",
+            ) * YEAR,
+            distinct_ages=grid_spec.get("distinct_ages", 64),
+            max_age=grid_spec.get("max_age", "1 wk"),
+            object_size=grid_spec.get("object_size", "1 MB"),
+        )
+        members.extend(grid.members)
+
+    return ScenarioEnsemble(
+        name=name, members=tuple(members), cascades=tuple(cascades)
+    )
+
+
+def ensemble_to_dict(ensemble: "Any") -> "Dict[str, Any]":
+    """An ensemble as a JSON-friendly output record.
+
+    An *output* shape (like the assessment records above): every member
+    fully expanded with its concrete rate — k-out-of-n models and
+    generators have already been applied, so the record feeds reports
+    and diffs, not :func:`ensemble_from_spec`.
+    """
+    return {
+        "name": ensemble.name,
+        "members": [
+            {
+                "id": member.member_id,
+                "scenario": scenario_to_dict(member.scenario),
+                "rate_per_year": member.rate_per_year,
+            }
+            for member in ensemble.members
+        ],
+        "cascades": [
+            {
+                "id": cascade.member_id,
+                "primary": scenario_to_dict(cascade.primary),
+                "escalated": scenario_to_dict(cascade.escalated),
+                "rate_per_year": cascade.occurrence_rate * YEAR,
+                "secondary_rate_per_year": (
+                    None
+                    if cascade.secondary_rate is None
+                    else cascade.secondary_rate * YEAR
+                ),
+                "probability": cascade.probability,
+            }
+            for cascade in ensemble.cascades
+        ],
+    }

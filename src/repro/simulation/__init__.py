@@ -28,7 +28,13 @@ times).
 from .engine import Event, SimulationEngine
 from .rp_store import RPStore, RetrievalPoint
 from .simulator import DependabilitySimulator, SimulatedLoss
-from .failure_injection import adversarial_times, random_times, sweep_times
+from .failure_injection import (
+    adversarial_times,
+    random_times,
+    substream_rng,
+    substream_seed,
+    sweep_times,
+)
 from .metrics import LossStatistics, summarize_losses
 from .recovery_sim import RecoverySimulator, SimulatedRecovery, TransferSpec
 from .exposure import ExposurePoint, ExposureProfile, exposure_profile
@@ -42,6 +48,8 @@ __all__ = [
     "SimulatedLoss",
     "sweep_times",
     "random_times",
+    "substream_rng",
+    "substream_seed",
     "adversarial_times",
     "LossStatistics",
     "summarize_losses",

@@ -13,12 +13,37 @@ Three flavors:
 
 from __future__ import annotations
 
-from typing import List
+import hashlib
+from typing import List, Optional
 
 import numpy as np
 
 from ..exceptions import SimulationError
 from .simulator import DependabilitySimulator
+
+
+def substream_seed(root_seed: int, stream_id: str) -> int:
+    """A derived 64-bit seed for one named substream of ``root_seed``.
+
+    The derivation hashes ``(root_seed, stream_id)``, so every labelled
+    consumer of one root seed gets a statistically independent stream
+    whose identity does not depend on *when* (or in which process) it
+    is drawn.  That is the property a parallel Monte Carlo campaign
+    needs: each scenario samples from its own substream, so the results
+    are byte-identical whether members are sampled serially, in a
+    different order, or sharded across ``--workers N``.
+    """
+    digest = hashlib.sha256(
+        f"{root_seed}:{stream_id}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def substream_rng(root_seed: int, stream_id: str) -> np.random.Generator:
+    """A generator over the named substream of ``root_seed``."""
+    return np.random.default_rng(
+        np.random.SeedSequence(substream_seed(root_seed, stream_id))
+    )
 
 
 def sweep_times(start: float, end: float, count: int) -> "List[float]":
@@ -32,13 +57,29 @@ def sweep_times(start: float, end: float, count: int) -> "List[float]":
     return list(np.linspace(start, end, count))
 
 
-def random_times(start: float, end: float, count: int, seed: int = 0) -> "List[float]":
-    """``count`` seeded uniform random failure times in ``[start, end]``."""
+def random_times(
+    start: float,
+    end: float,
+    count: int,
+    seed: int = 0,
+    stream: "Optional[str]" = None,
+) -> "List[float]":
+    """``count`` seeded uniform random failure times in ``[start, end]``.
+
+    With ``stream`` given, times are drawn from the named substream of
+    ``seed`` (see :func:`substream_seed`): two scenarios of one
+    campaign pass the same root seed and distinct stream labels, and
+    each gets its own independent, order-insensitive sequence.  Without
+    it, ``seed`` is used directly (the historical behaviour).
+    """
     if count < 1:
         raise SimulationError("need at least one failure time")
     if end < start:
         raise SimulationError("window is empty")
-    rng = np.random.default_rng(seed)
+    if stream is None:
+        rng = np.random.default_rng(seed)
+    else:
+        rng = substream_rng(seed, stream)
     return sorted(rng.uniform(start, end, size=count).tolist())
 
 

@@ -110,6 +110,10 @@ TIME = Dimension(time=1)
 MONEY = Dimension(money=1)
 RATE = SIZE / TIME
 MONEY_RATE = MONEY / TIME
+#: Event frequency (occurrences per second, the ``1/s`` family).  The
+#: risk layer attaches these to failure scenarios: a disk array that
+#: fails 0.5 times a year has an occurrence rate of ``0.5 / YEAR``.
+FREQUENCY = DIMENSIONLESS / TIME
 
 
 # --------------------------------------------------------------------------
@@ -127,6 +131,7 @@ BytesPerSecond = float
 Dollars = float
 DollarsPerSecond = float
 Fraction = float
+PerSecond = float
 
 #: Annotation name -> dimension, for the checker's annotation seeding.
 ANNOTATION_DIMENSIONS: "Dict[str, Dimension]" = {
@@ -136,6 +141,7 @@ ANNOTATION_DIMENSIONS: "Dict[str, Dimension]" = {
     "Dollars": MONEY,
     "DollarsPerSecond": MONEY_RATE,
     "Fraction": DIMENSIONLESS,
+    "PerSecond": FREQUENCY,
 }
 
 # --------------------------------------------------------------------------
@@ -339,6 +345,31 @@ def parse_duration(value: Union[str, Number]) -> float:
         raise UnitError(f"unknown duration unit {unit!r} in {value!r}") from None
 
 
+def parse_event_rate(value: Union[str, Number]) -> float:
+    """Return an event occurrence rate in events per second.
+
+    Accepts a plain number (already events/second) or a string with an
+    explicit per-duration unit such as ``"0.5/yr"``, ``"2/year"`` or
+    ``"1e-9/s"``.  Spec files that want the paper's events-per-year
+    convention spell the unit out (``"0.5/yr"``) — a bare number is
+    base units, the same contract as :func:`parse_size` and friends.
+    """
+    if isinstance(value, (int, float)):
+        return float(value)
+    number, unit = _split_quantity(value)
+    if unit == "":
+        return number
+    if not unit.startswith("/"):
+        raise UnitError(
+            f"event rate unit must be per-duration ('/yr', '/s'), "
+            f"got {unit!r} in {value!r}"
+        )
+    try:
+        return number / _DURATION_SUFFIXES[unit[1:]]
+    except KeyError:
+        raise UnitError(f"unknown event rate unit {unit!r} in {value!r}") from None
+
+
 # --------------------------------------------------------------------------
 # Humanized formatting (used by reporting and benchmark output).
 # --------------------------------------------------------------------------
@@ -402,3 +433,8 @@ def format_money(dollars: float, precision: int = 2) -> str:
 def format_percent(fraction: float, precision: int = 1) -> str:
     """Render a fraction as a percentage string ("87.4%")."""
     return f"{fraction * 100:.{precision}f}%"
+
+
+def format_event_rate(per_second: float, precision: int = 3) -> str:
+    """Render an occurrence rate in the paper's events-per-year idiom."""
+    return f"{per_second * YEAR:.{precision}g}/yr"

@@ -359,3 +359,76 @@ class TestTelemetryFlags:
         assert obs.get_tracer().enabled is False
         assert obs.get_metrics().enabled is False
         assert obs.get_progress().enabled is False
+
+
+class TestRiskCommand:
+    @staticmethod
+    def write_spec(tmp_path, ensemble=None, **extra):
+        if ensemble is None:
+            ensemble = {
+                "name": "cli-risk",
+                "members": [
+                    {"id": "arr", "scenario": "array", "rate": "0.5/yr"}
+                ],
+            }
+        spec = {"workload": "cello", "design": "baseline", **extra}
+        if ensemble:
+            spec["ensemble"] = ensemble
+        path = tmp_path / "risk.json"
+        path.write_text(json.dumps(spec))
+        return str(path)
+
+    def test_human_report(self, tmp_path, capsys):
+        assert main(["risk", self.write_spec(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ensemble 'cli-risk' on design 'baseline'" in out
+        assert "Annualized risk" in out
+        assert "p99" in out
+
+    def test_json_format_is_canonical_and_deterministic(
+        self, tmp_path, capsys
+    ):
+        spec = self.write_spec(tmp_path)
+        args = ["risk", spec, "--samples", "50", "--seed", "7",
+                "--format", "json"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first
+        data = json.loads(first)
+        assert data["kind"] == "risk_assessment"
+        assert data["monte_carlo"]["samples"] == 50
+        assert data["per_member"][0]["member_id"] == "arr"
+
+    def test_workers_flag_never_changes_the_json(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        assert main(["risk", spec, "--format", "json"]) == 0
+        serial = capsys.readouterr().out
+        assert main(
+            ["risk", spec, "--format", "json", "--workers", "2"]
+        ) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_years_flag_scales_the_horizon(self, tmp_path, capsys):
+        spec = self.write_spec(tmp_path)
+        assert main(["risk", spec, "--years", "3"]) == 0
+        assert "over 3 yr" in capsys.readouterr().out
+
+    def test_monte_carlo_section_appears_with_samples(
+        self, tmp_path, capsys
+    ):
+        assert main(
+            ["risk", self.write_spec(tmp_path), "--samples", "50"]
+        ) == 0
+        assert "Monte Carlo cross-check" in capsys.readouterr().out
+
+    def test_spec_without_ensemble_is_an_error(self, tmp_path, capsys):
+        path = tmp_path / "plain.json"
+        path.write_text(json.dumps({"design": "baseline"}))
+        assert main(["risk", str(path)]) == 2
+        assert "no 'ensemble' section" in capsys.readouterr().err
+
+    def test_example_spec_runs(self, capsys):
+        assert main(["risk", "examples/specs/risk_ensemble.json"]) == 0
+        out = capsys.readouterr().out
+        assert "1005 members, 67 distinct scenarios" in out

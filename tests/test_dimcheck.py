@@ -355,3 +355,52 @@ class TestMetrics:
             check("x = 4 * GB + 2 * HOUR\n")
             counters = registry.snapshot()["counters"]
         assert counters.get("lint.diagnostics.error") == 1
+
+
+class TestEventRateDimensions:
+    """The per-year rate family (1/s) wired into the checker's tables."""
+
+    RATE_IMPORTS = (
+        "from repro.units import GB, HOUR, SECOND, parse_event_rate\n"
+    )
+
+    def rate_check(self, body):
+        return lint_source(self.RATE_IMPORTS + body, "rates.py")
+
+    def test_occurrence_rate_attribute_is_a_frequency(self):
+        body = "x = member.occurrence_rate + 3 * SECOND\n"
+        assert codes(self.rate_check(body)) == ["DIM001"]
+
+    def test_parse_event_rate_returns_a_frequency(self):
+        body = "x = parse_event_rate('2/yr') + 4 * GB\n"
+        assert codes(self.rate_check(body)) == ["DIM001"]
+
+    def test_effective_failure_rate_stub(self):
+        body = "x = model.effective_failure_rate() + 8 * HOUR\n"
+        assert codes(self.rate_check(body)) == ["DIM001"]
+
+    def test_cascade_probability_wants_a_duration(self):
+        body = "p = cascade.cascade_probability(4 * GB)\n"
+        assert codes(self.rate_check(body)) == ["DIM002"]
+
+    def test_repair_time_parameter_name_seeds_time(self):
+        body = (
+            "def f(repair_time):\n"
+            "    return repair_time + 4 * GB\n"
+        )
+        assert codes(self.rate_check(body)) == ["DIM001"]
+
+    def test_dimensionally_sound_rate_code_is_clean(self):
+        body = (
+            "lam = parse_event_rate('2/yr')\n"
+            "expected_events = lam * (8 * HOUR)\n"
+            "mttf = 1.0 / lam\n"
+            "window = mttf + 8 * HOUR\n"
+        )
+        assert self.rate_check(body) == []
+
+    def test_frequency_dimension_relations(self):
+        from repro.units import DIMENSIONLESS, FREQUENCY
+
+        assert FREQUENCY == DIMENSIONLESS / TIME
+        assert FREQUENCY * TIME == DIMENSIONLESS

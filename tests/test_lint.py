@@ -631,3 +631,115 @@ class TestLintCommand:
         document = json.loads(captured.out)  # stdout is pure JSON
         assert document["summary"]["warning"] == 1
         assert "lint.rules_run" in captured.err  # metrics went to stderr
+
+
+class TestRiskEnsembleRules:
+    """DEP015: ensembles that would not build or could not fire."""
+
+    @staticmethod
+    def spec(ensemble):
+        return {"design": "baseline", "ensemble": ensemble}
+
+    def good(self):
+        return {
+            "name": "ok",
+            "members": [
+                {"id": "arr", "scenario": "array", "rate": "0.5/yr"}
+            ],
+            "correlated": [
+                {"id": "pair", "rate": "0.4/yr", "fraction": 0.25,
+                 "base": "array", "correlated": "building"}
+            ],
+            "cascades": [
+                {"id": "casc", "rate": "0.01/yr", "primary": "array",
+                 "escalated": "site", "secondary_rate": "0.5/yr"}
+            ],
+        }
+
+    def test_consistent_ensemble_is_clean(self):
+        assert only(lint_spec(self.spec(self.good())), "DEP015") == []
+
+    def test_spec_without_ensemble_is_ignored(self):
+        assert only(lint_spec({"design": "baseline"}), "DEP015") == []
+
+    def test_zero_rate_member(self):
+        ensemble = self.good()
+        ensemble["members"][0]["rate"] = "0/yr"
+        found = only(lint_spec(self.spec(ensemble)), "DEP015")
+        assert len(found) == 1
+        assert "not positive" in found[0].message
+        assert found[0].pointer == "/ensemble/members/0/rate"
+
+    def test_unparseable_rate(self):
+        ensemble = self.good()
+        ensemble["cascades"][0]["secondary_rate"] = "often"
+        found = only(lint_spec(self.spec(ensemble)), "DEP015")
+        assert [f.pointer for f in found] == [
+            "/ensemble/cascades/0/secondary_rate"
+        ]
+
+    def test_negative_kofn_unit_rate(self):
+        ensemble = self.good()
+        ensemble["members"][0] = {
+            "id": "arr", "scenario": "array",
+            "kofn": {"n": 8, "k": 6, "unit_rate": "-2/yr",
+                     "repair_time": "8 hr"},
+        }
+        found = only(lint_spec(self.spec(ensemble)), "DEP015")
+        assert [f.pointer for f in found] == [
+            "/ensemble/members/0/kofn/unit_rate"
+        ]
+
+    def test_probability_and_fraction_outside_unit_interval(self):
+        ensemble = self.good()
+        ensemble["correlated"][0]["fraction"] = 1.5
+        ensemble["cascades"][0] = {
+            "id": "casc", "rate": "0.01/yr", "primary": "array",
+            "escalated": "site", "probability": 0,
+        }
+        found = only(lint_spec(self.spec(ensemble)), "DEP015")
+        assert sorted(f.pointer for f in found) == [
+            "/ensemble/cascades/0/probability",
+            "/ensemble/correlated/0/fraction",
+        ]
+
+    def test_duplicate_ids_across_groups(self):
+        ensemble = self.good()
+        ensemble["cascades"][0]["id"] = "arr"
+        found = only(lint_spec(self.spec(ensemble)), "DEP015")
+        assert len(found) == 1
+        assert "duplicate ensemble member id 'arr'" in found[0].message
+        assert found[0].pointer == "/ensemble/cascades/0/id"
+
+    def test_unknown_device_reference(self):
+        ensemble = self.good()
+        ensemble["members"][0]["scenario"] = {
+            "scope": "array", "failed_device": "ghost-array",
+        }
+        found = only(lint_spec(self.spec(ensemble)), "DEP015")
+        assert len(found) == 1
+        assert "'ghost-array'" in found[0].message
+        assert found[0].pointer == "/ensemble/members/0/scenario"
+
+    def test_known_device_reference_is_clean(self):
+        ensemble = self.good()
+        ensemble["members"][0]["scenario"] = {
+            "scope": "array", "failed_device": "primary-array",
+        }
+        assert only(lint_spec(self.spec(ensemble)), "DEP015") == []
+
+    def test_generated_grid_rate(self):
+        ensemble = self.good()
+        ensemble["generate"] = {
+            "object_grid": {"count": 10, "total_rate": "-12/yr"}
+        }
+        found = only(lint_spec(self.spec(ensemble)), "DEP015")
+        assert [f.pointer for f in found] == [
+            "/ensemble/generate/object_grid/total_rate"
+        ]
+
+    def test_severity_is_error(self):
+        ensemble = self.good()
+        ensemble["members"][0]["rate"] = "0/yr"
+        found = only(lint_spec(self.spec(ensemble)), "DEP015")
+        assert found[0].severity is Severity.ERROR

@@ -17,11 +17,13 @@ from repro.units import (
     WEEK,
     YEAR,
     format_duration,
+    format_event_rate,
     format_money,
     format_percent,
     format_rate,
     format_size,
     parse_duration,
+    parse_event_rate,
     parse_rate,
     parse_size,
 )
@@ -237,3 +239,33 @@ class TestParsingEdgeCases:
     def test_duration_parse_format_parse_round_trip(self, value):
         once = parse_duration(format_duration(value))
         assert once == pytest.approx(value, rel=0.05)
+
+
+class TestEventRates:
+    """Occurrence rates: the paper's events-per-year idiom."""
+
+    def test_per_year_string(self):
+        assert parse_event_rate("0.5/yr") == pytest.approx(0.5 / YEAR)
+        assert parse_event_rate("2/year") == pytest.approx(2.0 / YEAR)
+
+    def test_other_durations(self):
+        assert parse_event_rate("1/wk") == pytest.approx(1.0 / WEEK)
+        assert parse_event_rate("1e-9/s") == pytest.approx(1e-9)
+
+    def test_bare_numbers_are_per_second(self):
+        assert parse_event_rate(3.5) == 3.5
+        assert parse_event_rate("42") == 42.0
+
+    def test_non_rate_units_rejected(self):
+        with pytest.raises(UnitError, match="per-duration"):
+            parse_event_rate("2 GB")
+        with pytest.raises(UnitError, match="unknown event rate unit"):
+            parse_event_rate("2/parsec")
+
+    def test_format_round_trip(self):
+        for rate in (0.5 / YEAR, 12.0 / YEAR, 2.0 / WEEK):
+            # 3 significant figures: "2/wk" renders as "104/yr".
+            assert parse_event_rate(format_event_rate(rate)) == pytest.approx(
+                rate, rel=5e-3
+            )
+        assert format_event_rate(0.5 / YEAR) == "0.5/yr"
